@@ -1,0 +1,185 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+1. **TCAM shift cost** -- with entry shifting disabled, priority order
+   stops mattering and Tango's scheduling advantage over Dionysus
+   collapses: the asymmetry Tango exploits comes from exactly this
+   mechanism.
+2. **Sampling estimator vs census** -- Algorithm 1's negative-binomial
+   sampling stays accurate under traffic-reactive policies (LRU), while
+   the naive "count cluster members during a one-pass census" estimator
+   collapses, because the census probes themselves promote flows.
+3. **Scheduler extensions** -- the concurrent guard-time scheduler
+   dominates the barrier-free basic scheduler on dependency chains that
+   cross switches.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.baselines import DionysusScheduler
+from repro.core.clustering import assign_cluster, cluster_1d
+from repro.core.probing import ProbingEngine
+from repro.core.scheduler import (
+    BasicTangoScheduler,
+    ConcurrentTangoScheduler,
+    NetworkExecutor,
+)
+from repro.core.size_inference import SizeProber
+from repro.core.requests import RequestDag
+from repro.netem.network import EmulatedNetwork
+from repro.netem.scenarios import TrafficEngineeringScenario
+from repro.netem.topology import triangle_topology
+from repro.openflow.channel import ControlChannel
+from repro.openflow.messages import FlowModCommand
+from repro.sim.rng import SeededRng
+from repro.switches.profiles import SWITCH_1, make_cache_test_profile
+from repro.tables.policies import LRU
+
+from benchmarks._helpers import fmt_ms, print_table
+
+
+def _no_shift(profile):
+    cost = dataclasses.replace(profile.cost_model, shift_ms=0.0, priority_group_ms=0.0)
+    return dataclasses.replace(profile, cost_model=cost, name=profile.name + "-noshift")
+
+
+def _te_makespans(profile):
+    def run(scheduler_factory):
+        network = EmulatedNetwork(
+            triangle_topology(), default_profile=profile, seed=3
+        )
+        scenario = TrafficEngineeringScenario(network, seed=5)
+        result = scenario.random_mix(600, mix=(1.0, 0.0, 0.0))
+        result.apply_preinstall(network)
+        return scheduler_factory(network.executor()).schedule(result.dag).makespan_ms
+
+    dionysus = run(lambda ex: DionysusScheduler(ex))
+    tango = run(lambda ex: BasicTangoScheduler(ex))
+    return dionysus, tango
+
+
+def bench_ablation_shift_cost(benchmark):
+    def run():
+        with_shift = _te_makespans(SWITCH_1)
+        without_shift = _te_makespans(_no_shift(SWITCH_1))
+        return with_shift, without_shift
+
+    (d_with, t_with), (d_without, t_without) = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    gain_with = (d_with - t_with) / d_with
+    gain_without = (d_without - t_without) / d_without
+    print_table(
+        "Ablation: TCAM shift cost drives Tango's advantage",
+        ["configuration", "Dionysus", "Tango", "Tango gain"],
+        [
+            ["shift cost on", fmt_ms(d_with), fmt_ms(t_with), f"{gain_with*100:.0f}%"],
+            ["shift cost off", fmt_ms(d_without), fmt_ms(t_without), f"{gain_without*100:.0f}%"],
+        ],
+    )
+    assert gain_with > 0.3
+    assert abs(gain_without) < 0.1
+    benchmark.extra_info["gain_with"] = round(gain_with, 3)
+    benchmark.extra_info["gain_without"] = round(gain_without, 3)
+
+
+def bench_ablation_sampling_vs_census(benchmark):
+    """Under LRU, the one-pass census undercounts the fast layer badly."""
+    true_size = 128
+    profile = make_cache_test_profile(LRU, (true_size, None), layer_means_ms=(0.5, 3.0))
+
+    def run():
+        # Paper estimator (Algorithm 1 stage 3).
+        switch = profile.build(seed=9)
+        engine = ProbingEngine(ControlChannel(switch), rng=SeededRng(9).child("ab"))
+        result = SizeProber(engine, max_rules=512, accuracy_target=0.02).probe()
+        sampling_estimate = result.layers[0].estimated_size
+
+        # Naive census: probe every flow once; count fast-tier RTTs.
+        switch = profile.build(seed=10)
+        engine = ProbingEngine(ControlChannel(switch), rng=SeededRng(10).child("ab2"))
+        for _ in range(512):
+            handle = engine.new_handle(priority=100)
+            engine.install_flow(handle)
+            engine.send_probe_packet(handle)
+        flows = list(engine.flows)
+        engine.rng.shuffle(flows)
+        rtts = [engine.measure_rtt(h) for h in flows]
+        clusters = cluster_1d(rtts, min_gap_ms=0.5)
+        census_estimate = sum(
+            1 for r in rtts if assign_cluster(clusters, r) == 0
+        )
+        return sampling_estimate, census_estimate
+
+    sampling_estimate, census_estimate = benchmark.pedantic(run, rounds=1, iterations=1)
+    sampling_error = abs(sampling_estimate - true_size) / true_size
+    census_error = abs(census_estimate - true_size) / true_size
+    print_table(
+        f"Ablation: size estimators under LRU (true size {true_size})",
+        ["estimator", "estimate", "error"],
+        [
+            ["NB sampling (Alg. 1)", sampling_estimate, f"{sampling_error*100:.1f}%"],
+            ["one-pass census", census_estimate, f"{census_error*100:.1f}%"],
+        ],
+    )
+    assert sampling_error <= 0.05
+    assert census_error > 2 * sampling_error
+    benchmark.extra_info["sampling_error"] = round(sampling_error, 4)
+    benchmark.extra_info["census_error"] = round(census_error, 4)
+
+
+def bench_ablation_concurrent_guard(benchmark):
+    """Guard-time dispatch overlaps cross-switch dependency chains."""
+
+    def build_dag():
+        from repro.openflow.match import IpPrefix, Match
+
+        dag = RequestDag()
+        for i in range(200):
+            match = Match(eth_type=0x0800, ip_dst=IpPrefix(0x0E000000 + i, 32))
+            parent = dag.new_request("fast", FlowModCommand.ADD, match, priority=i + 1)
+            child_match = Match(eth_type=0x0800, ip_dst=IpPrefix(0x0F000000 + i, 32))
+            dag.new_request(
+                "slow", FlowModCommand.ADD, child_match, priority=i + 1, after=[parent]
+            )
+        return dag
+
+    def executor():
+        fast = SWITCH_1.build(seed=1)
+        fast.name = "fast"
+        slow = SWITCH_1.build(seed=2)
+        slow.name = "slow"
+        # The slow switch pays 5x the base add cost.
+        slow.cost_model = dataclasses.replace(
+            slow.cost_model, add_base_ms=slow.cost_model.add_base_ms * 5
+        )
+        return NetworkExecutor(
+            {"fast": ControlChannel(fast), "slow": ControlChannel(slow)}
+        )
+
+    def run():
+        basic = BasicTangoScheduler(executor()).schedule(build_dag()).makespan_ms
+        estimates = {"fast": 1.0, "slow": 5.0}
+        concurrent = (
+            ConcurrentTangoScheduler(
+                executor(),
+                estimate=lambda r: estimates[r.location],
+                guard_ms=2.0,
+            )
+            .schedule(build_dag())
+            .makespan_ms
+        )
+        return basic, concurrent
+
+    basic, concurrent = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Ablation: concurrent guard-time dispatch on cross-switch chains",
+        ["scheduler", "makespan"],
+        [["basic (dependency-gated)", fmt_ms(basic)], ["concurrent (guarded)", fmt_ms(concurrent)]],
+    )
+    assert concurrent <= basic
+    benchmark.extra_info["basic_s"] = round(basic / 1000, 3)
+    benchmark.extra_info["concurrent_s"] = round(concurrent / 1000, 3)

@@ -1,0 +1,215 @@
+"""Benches for the beyond-the-paper extensions.
+
+Not tied to a paper figure; these quantify the extension features so
+regressions are caught the same way as the reproduction results:
+
+* pipeline inference (future work in the paper's conclusion) localises
+  the hardware-backed table across all positions and seeds;
+* behaviour classification separates OVS-style traffic-driven caching
+  from hardware FIFO placement;
+* the deadline-aware scheduler converts misses into on-time installs at
+  bounded makespan cost;
+* same-command batching rewards Tango's type grouping.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.baselines import RandomOrderScheduler
+from repro.core.behavior_inference import BehaviorProber
+from repro.core.pipeline_inference import PipelineProber
+from repro.core.probing import ProbingEngine, probe_match
+from repro.core.requests import RequestDag
+from repro.core.scheduler import (
+    BasicTangoScheduler,
+    DeadlineAwareTangoScheduler,
+    NetworkExecutor,
+)
+from repro.openflow.channel import ControlChannel
+from repro.openflow.messages import FlowModCommand
+from repro.sim.latency import ConstantLatency, GaussianLatency
+from repro.sim.rng import SeededRng
+from repro.switches.base import ControlCostModel
+from repro.switches.pipeline import PipelineSwitch, PipelineTableSpec
+from repro.switches.profiles import (
+    OVS_PROFILE,
+    SWITCH_1,
+    SWITCH_2,
+    SWITCH_3,
+)
+
+from benchmarks._helpers import fmt_ms, print_table
+
+
+def _pipeline_switch(hardware, seed):
+    specs = []
+    for table_id in range(3):
+        if table_id == hardware:
+            delay = GaussianLatency(mean=0.4, std=0.03)
+        else:
+            delay = GaussianLatency(mean=2.8, std=0.2)
+        specs.append(PipelineTableSpec(capacity=None, lookup_delay=delay))
+    return PipelineSwitch(
+        name=f"pipe-{hardware}",
+        tables=specs,
+        control_path_delay=ConstantLatency(8.0),
+        cost_model=ControlCostModel(
+            add_base_ms=0.4, shift_ms=0.01, priority_group_ms=0.2, mod_ms=1.5, del_ms=1.0
+        ),
+        hardware_table_id=hardware,
+        seed=seed,
+    )
+
+
+def bench_pipeline_inference_accuracy(benchmark):
+    def run():
+        outcomes = []
+        for hardware in (0, 1, 2):
+            for seed in (1, 2, 3):
+                switch = _pipeline_switch(hardware, seed)
+                prober = PipelineProber(
+                    ControlChannel(switch, rng=SeededRng(seed).child("pc")),
+                    rng=SeededRng(seed).child("pp"),
+                )
+                result = prober.probe(measure_sizes=False)
+                outcomes.append(
+                    (hardware, seed, result.num_tables, result.hardware_table_id)
+                )
+        return outcomes
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    correct = sum(1 for hw, _, n, found in outcomes if n == 3 and found == hw)
+    print_table(
+        "Extension: pipeline inference (3 hardware positions x 3 seeds)",
+        ["hardware table", "seed", "tables found", "located"],
+        [[hw, seed, n, found] for hw, seed, n, found in outcomes],
+    )
+    assert correct == len(outcomes)
+    benchmark.extra_info["correct"] = f"{correct}/{len(outcomes)}"
+
+
+def bench_behavior_classification(benchmark):
+    def run():
+        labels = {}
+        for profile in (OVS_PROFILE, SWITCH_1, SWITCH_2, SWITCH_3):
+            switch = profile.build(seed=5)
+            engine = ProbingEngine(
+                ControlChannel(switch), rng=SeededRng(5).child(profile.name)
+            )
+            result = BehaviorProber(engine).probe()
+            labels[profile.name] = result.traffic_driven_caching
+        return labels
+
+    labels = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Extension: control-plane behaviour classification",
+        ["switch", "traffic-driven caching"],
+        [[name, "yes" if flag else "no"] for name, flag in labels.items()],
+    )
+    assert labels["ovs"] is True
+    assert all(not labels[n] for n in ("switch1", "switch2", "switch3"))
+    benchmark.extra_info["labels"] = {k: bool(v) for k, v in labels.items()}
+
+
+def _deadline_dag(n_background=200, n_urgent=10):
+    dag = RequestDag()
+    for i in range(n_background):
+        dag.new_request("sw", FlowModCommand.ADD, probe_match(i), priority=i + 1)
+    for i in range(n_urgent):
+        dag.new_request(
+            "sw",
+            FlowModCommand.ADD,
+            probe_match(10_000 + i),
+            priority=50_000 + i,
+            install_by_ms=30.0 * (i + 1),
+        )
+    return dag
+
+
+def bench_deadline_scheduler(benchmark):
+    def run():
+        def executor():
+            switch = SWITCH_2.build(seed=3)
+            switch.name = "sw"
+            return NetworkExecutor({"sw": ControlChannel(switch)})
+
+        basic = BasicTangoScheduler(executor()).schedule(_deadline_dag())
+        aware = DeadlineAwareTangoScheduler(
+            executor(), estimate=lambda r: 1.0
+        ).schedule(_deadline_dag())
+        return basic, aware
+
+    basic, aware = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Extension: deadline-aware scheduling (10 urgent of 210 requests)",
+        ["scheduler", "makespan", "deadline misses"],
+        [
+            ["Basic Tango", fmt_ms(basic.makespan_ms), basic.deadline_misses],
+            ["Deadline-aware Tango", fmt_ms(aware.makespan_ms), aware.deadline_misses],
+        ],
+    )
+    assert aware.deadline_misses < basic.deadline_misses
+    assert aware.makespan_ms <= basic.makespan_ms * 1.25
+    benchmark.extra_info["misses_basic"] = basic.deadline_misses
+    benchmark.extra_info["misses_aware"] = aware.deadline_misses
+
+
+def bench_batching_discount(benchmark):
+    """Type grouping compounds with vendor batching of same-type updates."""
+    batched_cost = dataclasses.replace(SWITCH_2.cost_model, batch_discount=0.6)
+    batched_profile = dataclasses.replace(
+        SWITCH_2, cost_model=batched_cost, name="switch2-batched"
+    )
+
+    def dag():
+        d = RequestDag()
+        for i in range(200):
+            d.new_request("sw", FlowModCommand.ADD, probe_match(i), priority=100)
+        for i in range(200):
+            d.new_request(
+                "sw", FlowModCommand.MODIFY, probe_match(i), priority=100
+            )
+        for i in range(100, 200):
+            d.new_request(
+                "sw", FlowModCommand.DELETE, probe_match(i), priority=100
+            )
+        return d
+
+    def run():
+        results = {}
+        for label, profile in (("no batching", SWITCH_2), ("batched", batched_profile)):
+            for sched in ("tango", "random"):
+                switch = profile.build(seed=4)
+                switch.name = "sw"
+                executor = NetworkExecutor({"sw": ControlChannel(switch)})
+                if sched == "tango":
+                    scheduler = BasicTangoScheduler(executor)
+                else:
+                    scheduler = RandomOrderScheduler(executor, seed=9)
+                results[(label, sched)] = scheduler.schedule(dag()).makespan_ms
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for label in ("no batching", "batched"):
+        tango = results[(label, "tango")]
+        random_order = results[(label, "random")]
+        gain = (random_order - tango) / random_order
+        rows.append([label, fmt_ms(random_order), fmt_ms(tango), f"{gain*100:.0f}%"])
+    print_table(
+        "Extension: same-command batching amplifies type grouping",
+        ["switch", "random order", "Tango order", "Tango gain"],
+        rows,
+    )
+    gain_plain = (
+        results[("no batching", "random")] - results[("no batching", "tango")]
+    ) / results[("no batching", "random")]
+    gain_batched = (
+        results[("batched", "random")] - results[("batched", "tango")]
+    ) / results[("batched", "random")]
+    assert gain_batched > gain_plain
+    benchmark.extra_info["gain_plain"] = round(gain_plain, 3)
+    benchmark.extra_info["gain_batched"] = round(gain_batched, 3)

@@ -1,0 +1,113 @@
+"""Figure 10 -- network-wide optimization on the hardware testbed.
+
+Three switches in a triangle (s1, s2 from Vendor #1, s3 from Vendor #3).
+Scenarios:
+
+* **LF**: the s1-s2 link fails; 400 flows reroute via s3.
+* **TE1**: 800 requests, adds twice as frequent as deletions/mods.
+* **TE2**: 800 requests, the three types equally distributed.
+
+Schedulers: Dionysus (critical path), Tango with the rule-type pattern
+only, and Tango with rule-type + priority patterns.  Paper improvements
+over Dionysus: LF 0% (type) -> 70% (type+priority); TE1 20% -> 33%;
+TE2 26% -> 28%.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import DionysusScheduler
+from repro.core.patterns import make_type_only_pattern
+from repro.core.scheduler import BasicTangoScheduler
+from repro.netem.network import EmulatedNetwork
+from repro.netem.scenarios import LinkFailureScenario, TrafficEngineeringScenario
+from repro.netem.topology import triangle_topology
+from repro.sim.rng import SeededRng
+from repro.switches.profiles import SWITCH_1, SWITCH_3
+
+from benchmarks._helpers import fmt_ms, improvement, print_table
+
+FLOWS = 400
+TE_REQUESTS = 800
+
+
+def _build_network(seed=3):
+    network = EmulatedNetwork(
+        triangle_topology(),
+        default_profile=SWITCH_1,
+        profiles={"s3": SWITCH_3},
+        seed=seed,
+    )
+    rng = SeededRng(seed).child("fig10-flows")
+    for _ in range(FLOWS):
+        network.new_flow("s1", "s2", priority=rng.randint(1, 2000))
+    network.preinstall_flow_rules()
+    return network
+
+
+def _scenario_dag(network, scenario):
+    if scenario == "LF":
+        return LinkFailureScenario(network, ("s1", "s2")).build_dag()
+    te = TrafficEngineeringScenario(network, seed=9)
+    mix = (0.5, 0.25, 0.25) if scenario == "TE 1" else (1 / 3, 1 / 3, 1 / 3)
+    result = te.random_mix(TE_REQUESTS, mix=mix)
+    result.apply_preinstall(network)
+    return result
+
+
+def _run(scenario, arm):
+    network = _build_network()
+    result = _scenario_dag(network, scenario)
+    executor = network.executor()
+    if arm == "Dionysus":
+        scheduler = DionysusScheduler(executor)
+    elif arm == "Tango (Type)":
+        scheduler = BasicTangoScheduler(executor, patterns=[make_type_only_pattern()])
+    else:
+        scheduler = BasicTangoScheduler(executor)
+    return scheduler.schedule(result.dag).makespan_ms
+
+
+def bench_fig10_testbed(benchmark):
+    scenarios = ("LF", "TE 1", "TE 2")
+    arms = ("Dionysus", "Tango (Type)", "Tango (Type+Priority)")
+
+    def run():
+        return {
+            scenario: {arm: _run(scenario, arm) for arm in arms}
+            for scenario in scenarios
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for scenario in scenarios:
+        base = results[scenario]["Dionysus"]
+        rows.append(
+            [
+                scenario,
+                fmt_ms(base),
+                f"{fmt_ms(results[scenario]['Tango (Type)'])} ({improvement(base, results[scenario]['Tango (Type)'])})",
+                f"{fmt_ms(results[scenario]['Tango (Type+Priority)'])} ({improvement(base, results[scenario]['Tango (Type+Priority)'])})",
+            ]
+        )
+    print_table(
+        "Figure 10: testbed network-wide installation time",
+        ["scenario", "Dionysus", "Tango (Type)", "Tango (Type+Priority)"],
+        rows,
+    )
+    print("Paper improvements vs Dionysus: LF 0% / 70%, TE1 20% / 33%, TE2 26% / 28%")
+
+    lf = results["LF"]
+    # LF: type-only cannot help (adds on one switch, mods on another);
+    # priority sorting wins big.
+    assert abs(lf["Tango (Type)"] - lf["Dionysus"]) < 0.25 * lf["Dionysus"]
+    assert lf["Tango (Type+Priority)"] < 0.55 * lf["Dionysus"]
+    for scenario in ("TE 1", "TE 2"):
+        te = results[scenario]
+        assert te["Tango (Type)"] < te["Dionysus"]
+        assert te["Tango (Type+Priority)"] < te["Tango (Type)"]
+    benchmark.extra_info["seconds"] = {
+        s: {a: round(v / 1000, 3) for a, v in d.items()} for s, d in results.items()
+    }

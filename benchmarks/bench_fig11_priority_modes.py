@@ -1,0 +1,117 @@
+"""Figure 11 -- priority sorting vs. priority enforcement on the testbed.
+
+Four scenarios varying rule mix, DAG depth, and total rules:
+
+    add-only,  DAG=1, 2.4K rules
+    mixed,     DAG=1, 2.4K rules
+    mixed,     DAG=2, 2.4K rules
+    mixed,     DAG=2, 3.2K rules
+
+Arms: Dionysus; Tango with *priority sorting* (apps supplied priorities,
+Tango orders installation); Tango with *priority enforcement* (apps
+supplied only dependencies, Tango assigns minimal distinct priorities).
+Paper: Tango wins everywhere, up to 85% (sorting) and 95% (enforcement)
+for the add-only single-level scenario, with smaller gains as DAG depth
+grows (fewer independent rules to reorder).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import DionysusScheduler
+from repro.core.priorities import enforce_topological_priorities
+from repro.core.scheduler import BasicTangoScheduler
+from repro.netem.network import EmulatedNetwork
+from repro.netem.scenarios import TrafficEngineeringScenario
+from repro.netem.topology import triangle_topology
+from repro.switches.profiles import SWITCH_1, SWITCH_3
+
+from benchmarks._helpers import fmt_ms, improvement, print_table
+
+SCENARIOS = (
+    ("add, DAG=1, 2.4K", (1.0, 0.0, 0.0), 1, 2400),
+    ("mixed, DAG=1, 2.4K", (0.5, 0.25, 0.25), 1, 2400),
+    ("mixed, DAG=2, 2.4K", (0.5, 0.25, 0.25), 2, 2400),
+    ("mixed, DAG=2, 3.2K", (0.5, 0.25, 0.25), 2, 3200),
+)
+
+
+def _build(mix, levels, total, seed=5):
+    network = EmulatedNetwork(
+        triangle_topology(),
+        default_profile=SWITCH_1,
+        profiles={"s3": SWITCH_3},
+        seed=seed,
+    )
+    scenario = TrafficEngineeringScenario(network, seed=seed + 1)
+    # Vendor #3's TCAM (767 entries, no software overflow) cannot absorb
+    # 800+ additions, so the bulk-rule scenarios target the two Vendor #1
+    # switches, whose userspace tables take the overflow.
+    result = scenario.random_mix(
+        total, mix=mix, dag_levels=levels, locations=("s1", "s2")
+    )
+    result.apply_preinstall(network)
+    return network, result
+
+
+def _run(mix, levels, total, arm):
+    network, result = _build(mix, levels, total)
+    dag = result.dag
+    if arm == "Enforcement":
+        dag = enforce_topological_priorities(dag)
+    executor = network.executor()
+    if arm == "Dionysus":
+        scheduler = DionysusScheduler(executor)
+    else:
+        scheduler = BasicTangoScheduler(executor)
+    return scheduler.schedule(dag).makespan_ms
+
+
+def bench_fig11_priority_modes(benchmark):
+    arms = ("Dionysus", "Sorting", "Enforcement")
+
+    def run():
+        return {
+            name: {arm: _run(mix, levels, total, arm) for arm in arms}
+            for name, mix, levels, total in SCENARIOS
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for name, _, _, _ in SCENARIOS:
+        base = results[name]["Dionysus"]
+        rows.append(
+            [
+                name,
+                fmt_ms(base),
+                f"{fmt_ms(results[name]['Sorting'])} ({improvement(base, results[name]['Sorting'])})",
+                f"{fmt_ms(results[name]['Enforcement'])} ({improvement(base, results[name]['Enforcement'])})",
+            ]
+        )
+    print_table(
+        "Figure 11: priority sorting vs enforcement",
+        ["scenario", "Dionysus", "Tango (Priority Sorting)", "Tango (Priority Enforcement)"],
+        rows,
+    )
+    print("Paper: best case (add-only, DAG=1) -85% sorting, -95% enforcement")
+
+    add_only = results["add, DAG=1, 2.4K"]
+    assert add_only["Sorting"] < 0.4 * add_only["Dionysus"]
+    assert add_only["Enforcement"] < add_only["Sorting"]
+    for name, _, levels, _ in SCENARIOS:
+        r = results[name]
+        assert r["Sorting"] < r["Dionysus"]
+        assert r["Enforcement"] <= r["Sorting"] * 1.05
+    # Deeper DAGs leave less room for optimization (paper's last finding).
+    shallow_gain = 1 - results["mixed, DAG=1, 2.4K"]["Sorting"] / results[
+        "mixed, DAG=1, 2.4K"
+    ]["Dionysus"]
+    deep_gain = 1 - results["mixed, DAG=2, 2.4K"]["Sorting"] / results[
+        "mixed, DAG=2, 2.4K"
+    ]["Dionysus"]
+    print(f"Sorting gain: DAG=1 {shallow_gain*100:.0f}% vs DAG=2 {deep_gain*100:.0f}%")
+    benchmark.extra_info["seconds"] = {
+        s: {a: round(v / 1000, 3) for a, v in d.items()} for s, d in results.items()
+    }

@@ -1,0 +1,131 @@
+"""Figure 2 -- per-flow forwarding delay tiers.
+
+* Fig 2a (OVS): three tiers; first packet of a matched flow takes the
+  slow path (~4.5 ms), the second the fast path (3 ms), unmatched flows
+  the control path (~4.65 ms).
+* Fig 2b (Switch #1): FIFO software table over TCAM; the first 2047
+  installed flows (plus the pre-installed default route) forward in the
+  fast path (~0.665 ms), later flows in the slow path (~3.7 ms),
+  unmatched flows via the controller (~7.5 ms).
+* Fig 2c (Switch #2): two tiers only -- fast (~0.4 ms) or controller
+  (~8 ms).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.openflow.actions import ControllerAction
+from repro.openflow.channel import ControlChannel
+from repro.openflow.match import MatchKind
+from repro.openflow.messages import FlowMod, FlowModCommand, PacketOut
+from repro.core.probing import probe_match, probe_packet
+from repro.switches.profiles import OVS_PROFILE, SWITCH_1, SWITCH_2
+
+from benchmarks._helpers import print_table
+
+
+def _install(channel, count, kind=MatchKind.L3):
+    for i in range(count):
+        channel.send_flow_mod(
+            FlowMod(FlowModCommand.ADD, probe_match(i, kind), priority=100)
+        )
+
+
+def _fig2a_ovs():
+    """80 rules, 160 flows x 2 packets: slow/fast/control tiers."""
+    channel = ControlChannel(OVS_PROFILE.build(seed=5))
+    _install(channel, 80)
+    first_packet, second_packet, control = [], [], []
+    for flow in range(160):
+        rtt1 = channel.send_packet_out(PacketOut(probe_packet(flow)))
+        rtt2 = channel.send_packet_out(PacketOut(probe_packet(flow)))
+        if flow < 80:
+            first_packet.append(rtt1)
+            second_packet.append(rtt2)
+        else:
+            control.extend([rtt1, rtt2])
+    return {
+        "slow": statistics.mean(first_packet),
+        "fast": statistics.mean(second_packet),
+        "control": statistics.mean(control),
+    }
+
+
+def _fig2b_switch1():
+    """3500 rules (wide), 5000 flows: fast for first ~2047, then slow."""
+    channel = ControlChannel(SWITCH_1.build(seed=5))
+    # The default route occupies one TCAM slot, as in the paper.
+    channel.send_flow_mod(
+        FlowMod(
+            FlowModCommand.ADD,
+            probe_match(999_999, MatchKind.L2_L3),
+            priority=0,
+            actions=(ControllerAction(),),
+        )
+    )
+    _install(channel, 3500, MatchKind.L2_L3)
+    fast, slow, control = [], [], []
+    for flow in range(0, 5000, 10):
+        rtt = channel.send_packet_out(PacketOut(probe_packet(flow)))
+        if flow < 2047:
+            fast.append(rtt)
+        elif flow < 3500:
+            slow.append(rtt)
+        else:
+            control.append(rtt)
+    return {
+        "fast": statistics.mean(fast),
+        "slow": statistics.mean(slow),
+        "control": statistics.mean(control),
+        "fast_count_boundary": 2047,
+    }
+
+
+def _fig2c_switch2():
+    """Two tiers: TCAM hit or controller."""
+    channel = ControlChannel(SWITCH_2.build(seed=5))
+    _install(channel, 500)
+    fast = [channel.send_packet_out(PacketOut(probe_packet(i))) for i in range(0, 500, 5)]
+    control = [
+        channel.send_packet_out(PacketOut(probe_packet(i))) for i in range(600, 700, 5)
+    ]
+    return {"fast": statistics.mean(fast), "control": statistics.mean(control)}
+
+
+def bench_fig2_delay_tiers(benchmark):
+    def run():
+        return {
+            "ovs": _fig2a_ovs(),
+            "switch1": _fig2b_switch1(),
+            "switch2": _fig2c_switch2(),
+        }
+
+    tiers = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    ovs = tiers["ovs"]
+    assert ovs["fast"] < ovs["slow"] < ovs["control"] + 0.5
+    assert ovs["fast"] == pytest.approx(3.0, abs=0.4)
+
+    s1 = tiers["switch1"]
+    assert s1["fast"] < 1.2
+    assert 2.5 < s1["slow"] < 5.0
+    assert s1["control"] > 6.0
+
+    s2 = tiers["switch2"]
+    assert s2["fast"] < 1.0
+    assert s2["control"] > 6.0
+
+    rows = [
+        ["OVS (2a)", f"{ovs['fast']:.2f}", f"{ovs['slow']:.2f}", f"{ovs['control']:.2f}", "3.0 / 4.5 / 4.65"],
+        ["Switch #1 (2b)", f"{s1['fast']:.2f}", f"{s1['slow']:.2f}", f"{s1['control']:.2f}", "0.665 / 3.7 / 7.5"],
+        ["Switch #2 (2c)", f"{s2['fast']:.2f}", "-", f"{s2['control']:.2f}", "0.4 / - / 8.0"],
+    ]
+    print_table(
+        "Figure 2: forwarding delay tiers (ms, incl. control channel)",
+        ["experiment", "fast", "slow", "control", "paper (ms)"],
+        rows,
+    )
+    benchmark.extra_info["tiers"] = {k: {m: round(v, 3) for m, v in d.items()} for k, d in tiers.items()}

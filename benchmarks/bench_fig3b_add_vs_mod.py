@@ -1,0 +1,81 @@
+"""Figure 3b -- add vs. modify latency as batch size grows.
+
+Paper observation: on the hardware switch, modifying 5000 entries is
+about six times faster than adding 5000 new ones (adds shift
+priority-sorted TCAM entries; modifies rewrite in place).  On OVS both
+operations are cheap and nearly identical.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.openflow.channel import ControlChannel
+from repro.openflow.match import MatchKind
+from repro.openflow.messages import FlowMod, FlowModCommand
+from repro.core.probing import probe_match
+from repro.sim.rng import SeededRng
+from repro.switches.profiles import OVS_PROFILE, SWITCH_1
+
+from benchmarks._helpers import fmt_ms, print_table
+
+SIZES = (500, 1000, 2000, 3500, 5000)
+
+
+def _measure(profile, op, n, seed):
+    rng = SeededRng(seed).child(f"fig3b:{profile.name}:{op}:{n}")
+    switch = profile.build(seed=seed)
+    channel = ControlChannel(switch)
+    priorities = rng.sample(list(range(1, 8 * n)), n)
+    if op == "mod":
+        for i in range(n):
+            channel.send_flow_mod(
+                FlowMod(FlowModCommand.ADD, probe_match(i, MatchKind.L3), priorities[i])
+            )
+        start = switch.clock.now_ms
+        for i in range(n):
+            channel.send_flow_mod(
+                FlowMod(FlowModCommand.MODIFY, probe_match(i, MatchKind.L3), priorities[i])
+            )
+        return switch.clock.now_ms - start
+    start = switch.clock.now_ms
+    for i in range(n):
+        channel.send_flow_mod(
+            FlowMod(FlowModCommand.ADD, probe_match(i, MatchKind.L3), priorities[i])
+        )
+    return switch.clock.now_ms - start
+
+
+def bench_fig3b_add_vs_mod(benchmark):
+    def run():
+        series = {}
+        for profile in (SWITCH_1, OVS_PROFILE):
+            for op in ("add", "mod"):
+                series[(profile.name, op)] = [
+                    _measure(profile, op, n, seed=21) for n in SIZES
+                ]
+        return series
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for (name, op), values in series.items():
+        rows.append([f"{op} ({name})"] + [fmt_ms(v) for v in values])
+    print_table(
+        "Figure 3b: add vs modify total time",
+        ["series"] + [f"n={n}" for n in SIZES],
+        rows,
+    )
+
+    hw_add = series[("switch1", "add")][-1]
+    hw_mod = series[("switch1", "mod")][-1]
+    ratio = hw_add / hw_mod
+    print(f"Switch #1 add/mod ratio at n=5000: {ratio:.1f}x (paper: ~6x)")
+    assert 3.0 <= ratio <= 12.0
+
+    ovs_add = series[("ovs", "add")][-1]
+    ovs_mod = series[("ovs", "mod")][-1]
+    assert ovs_add == pytest.approx(ovs_mod, rel=0.5)
+    assert ovs_add < 0.05 * hw_add
+
+    benchmark.extra_info["hw_add_over_mod_at_5000"] = round(ratio, 2)

@@ -1,0 +1,68 @@
+"""Figure 5 -- round-trip-time clusters reveal flow-table layers.
+
+The paper shows RTTs of 2500 flows installed in hardware Switch #2
+falling into three well-separated bands ("fast path 1", "fast path 2",
+and "slow path").  We reproduce the multi-band structure with a
+three-layer switch profile (two hardware banks plus a software table)
+and verify the clustering stage of Algorithm 1 recovers every band and
+its population.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.clustering import cluster_1d
+from repro.core.probing import ProbingEngine
+from repro.openflow.channel import ControlChannel
+from repro.sim.rng import SeededRng
+from repro.switches.profiles import make_cache_test_profile
+from repro.tables.policies import FIFO
+
+from benchmarks._helpers import print_table
+
+#: Two fast banks and a slow software tier, RTT means as in Figure 5
+#: (plotted there in units of 10^-2 ms: ~0.05, ~0.4, ~1.2 ms).
+LAYER_SIZES = (1000, 800, None)
+LAYER_MEANS = (0.05, 0.4, 1.2)
+FLOWS = 2500
+
+
+def bench_fig5_rtt_clusters(benchmark):
+    profile = make_cache_test_profile(
+        FIFO,
+        layer_sizes=LAYER_SIZES,
+        layer_means_ms=LAYER_MEANS,
+        jitter_std_ms=0.01,
+    )
+
+    def run():
+        switch = profile.build(seed=17)
+        engine = ProbingEngine(
+            ControlChannel(switch), rng=SeededRng(17).child("fig5")
+        )
+        for _ in range(FLOWS):
+            handle = engine.install_new_flow(priority=100)
+        rtts = [engine.measure_rtt(h) for h in engine.flows]
+        return rtts
+
+    rtts = benchmark.pedantic(run, rounds=1, iterations=1)
+    clusters = cluster_1d(rtts, min_gap_ms=0.15, min_cluster_fraction=0.002)
+
+    rows = [
+        [f"band {i}", f"{c.mean_ms:.3f}", f"{c.lo_ms:.3f}-{c.hi_ms:.3f}", c.count]
+        for i, c in enumerate(clusters)
+    ]
+    print_table(
+        "Figure 5: RTT bands over 2500 installed flows",
+        ["cluster", "mean (ms)", "range (ms)", "flows"],
+        rows,
+    )
+
+    assert len(clusters) == 3
+    assert clusters[0].count == 1000
+    assert clusters[1].count == 800
+    assert clusters[2].count == 700
+    benchmark.extra_info["bands"] = [
+        {"mean_ms": round(c.mean_ms, 3), "count": c.count} for c in clusters
+    ]

@@ -1,0 +1,65 @@
+"""Section 5.3 -- cache-policy inference correctness matrix.
+
+Runs Algorithm 2 against switches configured with each standard policy
+(single-attribute FIFO/LIFO/LRU/LFU/priority plus two lexicographic
+compositions) and checks the inferred terms match the true policy's
+terms.  Trailing inferred terms beyond the true policy's length are the
+switch's deterministic tie-break and are reported but not scored.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.policy_inference import PolicyProber
+from repro.core.probing import ProbingEngine
+from repro.openflow.channel import ControlChannel
+from repro.sim.rng import SeededRng
+from repro.switches.profiles import make_cache_test_profile
+from repro.tables.policies import STANDARD_POLICIES
+
+from benchmarks._helpers import print_table
+
+CACHE_SIZE = 96
+
+
+def bench_policy_inference_accuracy(benchmark):
+    def run():
+        outcomes = {}
+        for name, policy in STANDARD_POLICIES.items():
+            profile = make_cache_test_profile(
+                policy,
+                (CACHE_SIZE, 2 * CACHE_SIZE, None),
+                layer_means_ms=(0.5, 2.5, 4.8),
+            )
+            switch = profile.build(seed=13)
+            engine = ProbingEngine(
+                ControlChannel(switch), rng=SeededRng(13).child(f"pol:{name}")
+            )
+            result = PolicyProber(engine, cache_size=CACHE_SIZE).probe()
+            outcomes[name] = (policy.terms, tuple(result.terms), result.rounds)
+        return outcomes
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    correct = 0
+    for name, (true_terms, inferred_terms, rounds) in outcomes.items():
+        match = inferred_terms[: len(true_terms)] == tuple(true_terms)
+        correct += match
+        rows.append(
+            [
+                name,
+                " > ".join(f"{a.value}{'+' if d.value > 0 else '-'}" for a, d in true_terms),
+                " > ".join(f"{a.value}{'+' if d.value > 0 else '-'}" for a, d in inferred_terms),
+                rounds,
+                "OK" if match else "MISS",
+            ]
+        )
+    print_table(
+        "Cache-policy inference accuracy",
+        ["true policy", "true terms", "inferred terms", "rounds", "verdict"],
+        rows,
+    )
+    assert correct == len(outcomes), "every policy must be identified"
+    benchmark.extra_info["identified"] = f"{correct}/{len(outcomes)}"

@@ -1,0 +1,92 @@
+"""Table 1 -- Diversity of tables and table sizes.
+
+Paper values (flow entries):
+
+    switch      L2/L3   L2+L3
+    OVS         <inf    <inf
+    Switch #1   4K      2K      (+ unbounded userspace tables)
+    Switch #2   2560    2560
+    Switch #3   767     369
+
+The bench runs the Tango size probe (Algorithm 1) against each vendor
+profile with narrow (L3) and wide (L2+L3) probe rules and reports the
+inferred fast-table sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.probing import ProbingEngine
+from repro.core.size_inference import SizeProber
+from repro.openflow.channel import ControlChannel
+from repro.openflow.match import MatchKind
+from repro.sim.rng import SeededRng
+from repro.switches.profiles import OVS_PROFILE, SWITCH_1, SWITCH_2, SWITCH_3
+
+from benchmarks._helpers import print_table
+
+#: Paper's Table 1 ground truth for the hardware fast table.
+EXPECTED = {
+    ("ovs", MatchKind.L3): None,
+    ("ovs", MatchKind.L2_L3): None,
+    ("switch1", MatchKind.L3): 4096,
+    ("switch1", MatchKind.L2_L3): 2048,
+    ("switch2", MatchKind.L3): 2560,
+    ("switch2", MatchKind.L2_L3): 2560,
+    ("switch3", MatchKind.L3): 767,
+    ("switch3", MatchKind.L2_L3): 369,
+}
+
+
+def _probe_size(profile, kind, seed):
+    switch = profile.build(seed=seed)
+    engine = ProbingEngine(
+        ControlChannel(switch),
+        rng=SeededRng(seed).child(f"t1:{profile.name}:{kind.value}"),
+        match_kind=kind,
+    )
+    prober = SizeProber(engine, max_rules=6144, accuracy_target=0.02)
+    result = prober.probe()
+    if not result.layers:
+        return None
+    return result.layers[0].estimated_size
+
+
+def bench_table1_table_sizes(benchmark):
+    profiles = (OVS_PROFILE, SWITCH_1, SWITCH_2, SWITCH_3)
+
+    def run():
+        rows = []
+        for profile in profiles:
+            measured = {}
+            for kind in (MatchKind.L3, MatchKind.L2_L3):
+                measured[kind] = _probe_size(profile, kind, seed=11)
+            rows.append((profile.name, measured))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = []
+    for name, measured in rows:
+        row = [name]
+        for kind in (MatchKind.L3, MatchKind.L2_L3):
+            expected = EXPECTED[(name, kind)]
+            value = measured[kind]
+            shown = "<inf" if value is None else str(value)
+            exp_shown = "<inf" if expected is None else str(expected)
+            row.extend([shown, exp_shown])
+            if expected is not None:
+                assert value is not None
+                assert abs(value - expected) / expected <= 0.05
+            else:
+                assert value is None
+        table.append(row)
+    print_table(
+        "Table 1: inferred flow-table sizes",
+        ["switch", "L2/L3 inferred", "L2/L3 paper", "L2+L3 inferred", "L2+L3 paper"],
+        table,
+    )
+    benchmark.extra_info["rows"] = [
+        [str(c) for c in row] for row in table
+    ]

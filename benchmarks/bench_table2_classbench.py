@@ -1,0 +1,62 @@
+"""Table 2 -- ClassBench rule sets and their priority assignments.
+
+Paper values:
+
+    file          flows  topological priorities  R priorities
+    Classbench1   829    64                      829
+    Classbench2   989    38                      989
+    Classbench3   972    33                      972
+
+Our generator synthesises rule sets with these shape statistics; the
+bench regenerates them and derives both priority assignments.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.priorities import (
+    assign_r_priorities,
+    assign_topological_priorities,
+    check_priorities,
+    distinct_priority_count,
+)
+from repro.workloads.classbench import CLASSBENCH_PRESETS, classbench_preset
+
+from benchmarks._helpers import print_table
+
+
+def bench_table2_classbench(benchmark):
+    def run():
+        rows = []
+        for index in sorted(CLASSBENCH_PRESETS):
+            ruleset = classbench_preset(index)
+            topo = assign_topological_priorities(ruleset.dependencies)
+            r = assign_r_priorities(ruleset.dependencies)
+            assert check_priorities(ruleset.dependencies, topo) == []
+            assert check_priorities(ruleset.dependencies, r) == []
+            rows.append(
+                (
+                    index,
+                    len(ruleset),
+                    distinct_priority_count(topo),
+                    distinct_priority_count(r),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = []
+    for index, flows, topo, r in rows:
+        expected_flows, expected_depth = CLASSBENCH_PRESETS[index]
+        assert flows == expected_flows
+        assert topo == expected_depth
+        assert r == expected_flows
+        table.append([f"Classbench{index}", flows, topo, r])
+    print_table(
+        "Table 2: flows and priority counts per ClassBench file",
+        ["file", "flows installed", "topological priorities", "R priorities"],
+        table,
+    )
+    benchmark.extra_info["rows"] = table

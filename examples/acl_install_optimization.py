@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Install a ClassBench-style ACL on a hardware switch, four ways.
+
+This is the paper's single-switch evaluation (Figures 8/9): an
+access-control rule set with overlap dependencies is installed under the
+cross product of
+
+* priority assignment: topological (minimum distinct priorities) vs. R
+  (one unique priority per rule), and
+* installation order: Tango's probing-derived optimal order vs. random.
+
+On hardware, the topological + Tango combination wins by a wide margin,
+because same-priority additions avoid TCAM entry shifting entirely.
+
+Usage:
+    python examples/acl_install_optimization.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines import RandomOrderScheduler
+from repro.core.priorities import (
+    assign_r_priorities,
+    assign_topological_priorities,
+    distinct_priority_count,
+)
+from repro.core.scheduler import BasicTangoScheduler, NetworkExecutor
+from repro.openflow.channel import ControlChannel
+from repro.openflow.messages import FlowModCommand
+from repro.core.requests import RequestDag
+from repro.switches import SWITCH_1
+from repro.workloads import classbench_preset
+
+
+def build_dag(ruleset, priorities) -> RequestDag:
+    dag = RequestDag()
+    requests = {}
+    for index, rule in enumerate(ruleset.rules):
+        requests[index] = dag.new_request(
+            "hw", FlowModCommand.ADD, rule, priority=priorities[index]
+        )
+    for u, v in ruleset.dependencies.edges():
+        dag.add_dependency(requests[u], requests[v])
+    return dag
+
+
+def executor() -> NetworkExecutor:
+    switch = SWITCH_1.build(seed=11)
+    switch.name = "hw"
+    return NetworkExecutor({"hw": ControlChannel(switch)})
+
+
+def main() -> None:
+    ruleset = classbench_preset(1)
+    topo = assign_topological_priorities(ruleset.dependencies)
+    r = assign_r_priorities(ruleset.dependencies)
+    print(
+        f"ACL {ruleset.name}: {len(ruleset)} rules, dependency depth {ruleset.depth}, "
+        f"{distinct_priority_count(topo)} topological priorities, "
+        f"{distinct_priority_count(r)} R priorities\n"
+    )
+
+    arms = {
+        "Topo priorities + Tango order": (topo, lambda ex: BasicTangoScheduler(ex)),
+        "R priorities + Tango order": (r, lambda ex: BasicTangoScheduler(ex)),
+        "R priorities + random order": (r, lambda ex: RandomOrderScheduler(ex, seed=1)),
+        "Topo priorities + random order": (topo, lambda ex: RandomOrderScheduler(ex, seed=1)),
+    }
+    results = {}
+    for label, (priorities, factory) in arms.items():
+        outcome = factory(executor()).schedule(build_dag(ruleset, priorities))
+        results[label] = outcome.makespan_ms
+        print(f"  {label:<32}: {outcome.makespan_ms / 1000:6.2f} s")
+
+    best = min(results, key=results.get)
+    worst = max(results, key=results.get)
+    reduction = (results[worst] - results[best]) / results[worst] * 100
+    print(f"\nBest arm: {best} (-{reduction:.0f}% vs {worst}; the paper reports 80-89%).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Traffic engineering on Google's B4 backbone over Open vSwitch.
+
+The paper's Mininet experiment (Figure 12): a traffic-matrix change on
+the 12-node B4 topology is translated -- via max-min fair allocation --
+into thousands of switch requests (new flows installed egress-first,
+removed flows drained ingress-first, re-allocated flows modified along
+their paths), and the resulting request DAG is scheduled by Dionysus
+and by Tango.
+
+Usage:
+    python examples/b4_traffic_engineering.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines import DionysusScheduler
+from repro.core.scheduler import BasicTangoScheduler
+from repro.netem import (
+    EmulatedNetwork,
+    TrafficEngineeringScenario,
+    b4_topology,
+    max_min_fair_allocation,
+)
+from repro.sim.rng import SeededRng
+from repro.switches import OVS_PROFILE
+from repro.workloads import uniform_traffic_matrix
+
+
+def build_scenario(seed: int):
+    network = EmulatedNetwork(b4_topology(), default_profile=OVS_PROFILE, seed=seed)
+    rng = SeededRng(seed).child("tm")
+    nodes = network.topology.switches
+    before = uniform_traffic_matrix(nodes, total_demand=300.0, rng=rng, sparsity=0.3)
+    after = uniform_traffic_matrix(nodes, total_demand=360.0, rng=rng, sparsity=0.3)
+    scenario = TrafficEngineeringScenario(network, seed=seed + 1)
+    result = scenario.from_traffic_matrices(before, after, flows_per_pair=12)
+    return network, result
+
+
+def main() -> None:
+    network, result = build_scenario(seed=7)
+    print(
+        f"B4 topology: {len(network.topology.switches)} sites, "
+        f"{len(network.topology.links)} links"
+    )
+    print(
+        f"Traffic-matrix change produced {result.total} switch requests "
+        f"({result.adds} add / {result.mods} mod / {result.dels} del)\n"
+    )
+
+    allocation = max_min_fair_allocation(
+        network.topology, list(network.flows.values())
+    )
+    satisfied = sum(
+        1
+        for flow in network.flows.values()
+        if allocation.get(flow.flow_id, 0.0) >= flow.demand - 1e-9
+    )
+    print(
+        f"Max-min fair allocation: {satisfied}/{len(network.flows)} flows fully "
+        f"satisfied, {sum(allocation.values()):.0f} Gbps allocated in total\n"
+    )
+
+    dionysus = DionysusScheduler(network.executor()).schedule(result.dag)
+    network, result = build_scenario(seed=7)
+    tango = BasicTangoScheduler(network.executor()).schedule(result.dag)
+
+    print(f"  Dionysus : {dionysus.makespan_ms / 1000:6.2f} s")
+    print(f"  Tango    : {tango.makespan_ms / 1000:6.2f} s")
+    gain = (dionysus.makespan_ms - tango.makespan_ms) / dionysus.makespan_ms * 100
+    print(
+        f"\nTango improves on Dionysus by {gain:.0f}% "
+        f"(the paper reports ~8% -- OVS is priority-insensitive, so only the "
+        f"rule-type pattern contributes)."
+    )
+
+
+if __name__ == "__main__":
+    main()

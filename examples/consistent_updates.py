@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Why the network-wide experiments install rules egress-first.
+
+The paper's scenarios "ensure that the flow updates are conducted in
+reverse order across the source-destination paths to ensure update
+consistency" (Section 7.2, citing Reitblatt et al.).  This example makes
+the property concrete: a flow's rules are installed along a three-switch
+path in both orders while a consistency auditor traces a probe packet
+after every single rule operation.
+
+* Egress-first (reverse) order: the probe is punted at the ingress until
+  the very last rule lands -- never black-holed.  Zero violations.
+* Ingress-first (forward) order: the instant the ingress rule lands, the
+  probe is forwarded into a switch that has no rule for it yet -- a
+  transient black hole the auditor catches.
+
+Usage:
+    python examples/consistent_updates.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines import FifoOrderScheduler
+from repro.core.requests import RequestDag
+from repro.core.scheduler import BasicTangoScheduler
+from repro.netem import (
+    AuditingExecutor,
+    EmulatedNetwork,
+    Topology,
+    probes_for_flows,
+)
+from repro.netem.consistency import add_reverse_path_dependencies
+from repro.openflow.actions import OutputAction
+from repro.openflow.messages import FlowModCommand
+from repro.switches import OVS_PROFILE
+
+
+def line_network() -> EmulatedNetwork:
+    topology = Topology("line")
+    for name in ("ingress", "core", "egress"):
+        topology.add_switch(name)
+    topology.add_link("ingress", "core")
+    topology.add_link("core", "egress")
+    return EmulatedNetwork(topology, default_profile=OVS_PROFILE, seed=1)
+
+
+def build_install_dag(network, flow, reverse: bool) -> RequestDag:
+    dag = RequestDag()
+    chain = [
+        dag.new_request(
+            switch,
+            FlowModCommand.ADD,
+            flow.match(),
+            priority=flow.priority,
+            actions=(OutputAction(port=network.port_along_path(flow.path, switch)),),
+        )
+        for switch in flow.path
+    ]
+    if reverse:
+        add_reverse_path_dependencies(dag, chain)
+    return dag
+
+
+def run(reverse: bool) -> None:
+    network = line_network()
+    flow = network.new_flow("ingress", "egress")
+    dag = build_install_dag(network, flow, reverse=reverse)
+    executor = AuditingExecutor(network, probes_for_flows(network, [flow]))
+    if reverse:
+        BasicTangoScheduler(executor).schedule(dag)
+    else:
+        FifoOrderScheduler(executor).schedule(dag)  # issues ingress first
+
+    label = "egress-first (consistent)" if reverse else "ingress-first (naive)"
+    report = executor.report
+    print(f"{label:28s}: {report.probes_traced} probes traced, "
+          f"{len(report.violations)} violations")
+    for violation in report.violations:
+        print(
+            f"    transient black hole after request {violation.after_request_id}: "
+            f"packet forwarded via {' -> '.join(violation.reached)} and then "
+            f"{violation.outcome.value}"
+        )
+
+
+def main() -> None:
+    print("Installing one flow over ingress -> core -> egress, auditing "
+          "after every rule operation:\n")
+    run(reverse=True)
+    run(reverse=False)
+    print(
+        "\nThe reverse (egress-first) ordering used throughout the paper's "
+        "evaluation never forwards a packet into a rule-less switch."
+    )
+
+
+if __name__ == "__main__":
+    main()

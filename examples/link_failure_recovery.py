@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Link-failure recovery on the paper's three-switch hardware testbed.
+
+Builds the triangle testbed (two Vendor-#1 switches and one Vendor-#3
+switch), installs 400 flows across the s1-s2 link, fails that link, and
+compares how fast three schedulers push the rerouting rules:
+
+* Dionysus (critical-path scheduling, diversity-oblivious),
+* Tango with the rule-type pattern only,
+* Tango with rule-type + priority patterns.
+
+This is the paper's Figure 10 "LF" scenario, where priority-aware Tango
+cuts installation time by ~70%.
+
+Usage:
+    python examples/link_failure_recovery.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines import DionysusScheduler
+from repro.core.patterns import make_type_only_pattern
+from repro.core.scheduler import BasicTangoScheduler
+from repro.netem import EmulatedNetwork, LinkFailureScenario, triangle_topology
+from repro.sim.rng import SeededRng
+from repro.switches import SWITCH_1, SWITCH_3
+
+FLOWS = 400
+
+
+def build_network() -> EmulatedNetwork:
+    network = EmulatedNetwork(
+        triangle_topology(),
+        default_profile=SWITCH_1,
+        profiles={"s3": SWITCH_3},
+        seed=3,
+    )
+    rng = SeededRng(5).child("flows")
+    for _ in range(FLOWS):
+        network.new_flow("s1", "s2", priority=rng.randint(1, 2000))
+    network.preinstall_flow_rules()
+    return network
+
+
+def run(label, scheduler_factory) -> float:
+    network = build_network()
+    scenario = LinkFailureScenario(network, ("s1", "s2"))
+    result = scenario.build_dag()
+    outcome = scheduler_factory(network.executor()).schedule(result.dag)
+    print(
+        f"  {label:<24}: {outcome.makespan_ms / 1000:6.2f} s "
+        f"({result.adds} adds on the detour switch, {result.mods} mods at the ingress)"
+    )
+    return outcome.makespan_ms
+
+
+def main() -> None:
+    print(f"Failing link s1-s2 with {FLOWS} flows crossing it ...")
+    dionysus = run("Dionysus", DionysusScheduler)
+    run(
+        "Tango (type only)",
+        lambda ex: BasicTangoScheduler(ex, patterns=[make_type_only_pattern()]),
+    )
+    tango = run("Tango (type + priority)", BasicTangoScheduler)
+    print(
+        f"\nTango's priority-sorted additions recover "
+        f"{(dionysus - tango) / dionysus * 100:.0f}% faster than Dionysus "
+        f"(the paper reports ~70%)."
+    )
+
+
+if __name__ == "__main__":
+    main()

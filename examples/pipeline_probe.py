@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Infer a multi-table pipeline's structure (the paper's future work).
+
+The paper's conclusion: "we would like to expand the set of Tango
+patterns to infer other switch capabilities such as multiple tables and
+their priorities."  This example builds a three-table pipeline switch
+where only one table is TCAM-backed (per Section 2, vendors push a
+single table into hardware) and infers, from the outside:
+
+* how many pipeline tables exist (install until the table id is rejected),
+* each table's lookup latency (GotoTable chains of increasing depth),
+* which table is the hardware one (the cheapest lookup),
+* each table's capacity (fill to rejection).
+
+Usage:
+    python examples/pipeline_probe.py
+"""
+
+from __future__ import annotations
+
+from repro.core.pipeline_inference import PipelineProber
+from repro.openflow.channel import ControlChannel
+from repro.sim.latency import ConstantLatency, GaussianLatency
+from repro.sim.rng import SeededRng
+from repro.switches.base import ControlCostModel
+from repro.switches.pipeline import PipelineSwitch, PipelineTableSpec
+
+# Hidden ground truth: table 1 is the TCAM-backed one.
+HIDDEN_HARDWARE_TABLE = 1
+HIDDEN_CAPACITIES = (512, 128, None)
+
+
+def build_switch() -> PipelineSwitch:
+    specs = []
+    for table_id, capacity in enumerate(HIDDEN_CAPACITIES):
+        if table_id == HIDDEN_HARDWARE_TABLE:
+            delay = GaussianLatency(mean=0.4, std=0.03)
+        else:
+            delay = GaussianLatency(mean=2.8, std=0.2)
+        specs.append(PipelineTableSpec(capacity=capacity, lookup_delay=delay))
+    return PipelineSwitch(
+        name="pipeline-switch",
+        tables=specs,
+        control_path_delay=ConstantLatency(8.0),
+        cost_model=ControlCostModel(
+            add_base_ms=0.4,
+            shift_ms=0.01,
+            priority_group_ms=0.2,
+            mod_ms=1.5,
+            del_ms=1.0,
+        ),
+        hardware_table_id=HIDDEN_HARDWARE_TABLE,
+        seed=11,
+    )
+
+
+def main() -> None:
+    switch = build_switch()
+    channel = ControlChannel(switch, rng=SeededRng(11).child("chan"))
+    prober = PipelineProber(channel, rng=SeededRng(11).child("probe"), size_cap=1024)
+
+    print("Probing the pipeline ...")
+    result = prober.probe()
+    print(f"  tables found      : {result.num_tables} (actual: {len(HIDDEN_CAPACITIES)})")
+    for table_id, lookup in enumerate(result.lookup_ms):
+        marker = "  <- hardware" if table_id == result.hardware_table_id else ""
+        print(f"  table {table_id} lookup    : {lookup:5.2f} ms{marker}")
+    print(
+        f"  hardware table    : {result.hardware_table_id} "
+        f"(actual: {HIDDEN_HARDWARE_TABLE})"
+    )
+    for table_id, size in enumerate(result.table_sizes):
+        actual = HIDDEN_CAPACITIES[table_id]
+        print(
+            f"  table {table_id} capacity  : "
+            f"{'unbounded' if size is None else size} "
+            f"(actual: {'unbounded' if actual is None else actual})"
+        )
+
+    correct = (
+        result.num_tables == len(HIDDEN_CAPACITIES)
+        and result.hardware_table_id == HIDDEN_HARDWARE_TABLE
+        and tuple(result.table_sizes) == HIDDEN_CAPACITIES
+    )
+    print(f"\n{'SUCCESS' if correct else 'MISMATCH'}: pipeline structure "
+          f"{'recovered' if correct else 'not recovered'} from probing alone.")
+
+
+if __name__ == "__main__":
+    main()

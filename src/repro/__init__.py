@@ -1,0 +1,35 @@
+"""Tango: SDN switch property inference, abstraction, and optimization.
+
+A full reproduction of *"Tango: Simplifying SDN Control with Automatic
+Switch Property Inference, Abstraction, and Optimization"* (CoNEXT 2014),
+built on a discrete-event simulation of diverse OpenFlow switches.
+
+Package layout:
+
+* :mod:`repro.sim` -- virtual clock, events, seeded randomness, latency models.
+* :mod:`repro.openflow` -- in-process OpenFlow message/channel substrate.
+* :mod:`repro.tables` -- multi-level flow-table cache model and TCAM geometry.
+* :mod:`repro.switches` -- simulated switches with vendor profiles.
+* :mod:`repro.core` -- Tango itself: patterns, probing, size and policy
+  inference, latency curves, the request DAG, and the Tango schedulers.
+* :mod:`repro.baselines` -- Dionysus and naive scheduling baselines.
+* :mod:`repro.netem` -- topologies (triangle testbed, Google B4),
+  emulated networks, link-failure and traffic-engineering scenarios.
+* :mod:`repro.workloads` -- ClassBench-like rule sets with dependency DAGs.
+
+Quickstart::
+
+    from repro.core import Tango
+    from repro.switches import SWITCH_2
+
+    tango = Tango(seed=1)
+    name = tango.register_profile(SWITCH_2)
+    model = tango.infer(name, include_policy=False)
+    print(model.layer_sizes)   # -> [2560]
+"""
+
+from repro.core.api import Tango
+
+__version__ = "1.0.0"
+
+__all__ = ["Tango", "__version__"]

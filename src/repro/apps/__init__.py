@@ -1,0 +1,32 @@
+"""Controller applications on top of the Tango API.
+
+Section 6 of the paper sketches the range of application request styles
+Tango accepts: "simple static flow pusher style requests ... where the
+whole path is given in each request, to declarative-level requests such
+that the match condition is given but the path is not given (e.g., ACL
+style spec), to algorithmic policies".  This package implements one
+application per style:
+
+* :class:`StaticFlowPusher` -- the whole path is given; emits
+  consistently-ordered per-switch requests.
+* :class:`AclApplication` -- an ordered rule list; derives the overlap
+  dependency DAG and a priority assignment, then emits install requests.
+* :class:`RoutingApplication` -- only endpoints and traffic hints are
+  given; chooses paths (and, between parallel switch options, the
+  cheaper switch per Tango's inferred cost models).
+"""
+
+from repro.apps.acl import AclApplication, PriorityMode
+from repro.apps.flow_pusher import StaticFlowPusher
+from repro.apps.minimize import MinimizationResult, minimize_acl
+from repro.apps.routing import RoutingApplication, RouteRequest
+
+__all__ = [
+    "StaticFlowPusher",
+    "AclApplication",
+    "PriorityMode",
+    "MinimizationResult",
+    "minimize_acl",
+    "RoutingApplication",
+    "RouteRequest",
+]

@@ -1,0 +1,14 @@
+"""Baseline schedulers the paper compares Tango against.
+
+* :class:`DionysusScheduler` -- critical-path scheduling of network
+  updates (Jin et al., SIGCOMM'14): always issue the ready request on
+  the longest remaining dependency chain first.  Diversity-oblivious: it
+  neither reorders by rule type nor sorts additions by priority.
+* :class:`RandomOrderScheduler` -- issues independent requests in a
+  random order (the "random installation order" arm of Figures 8/9).
+"""
+
+from repro.baselines.dionysus import DionysusScheduler
+from repro.baselines.naive import RandomOrderScheduler, FifoOrderScheduler
+
+__all__ = ["DionysusScheduler", "RandomOrderScheduler", "FifoOrderScheduler"]

@@ -1,0 +1,95 @@
+"""Tango core: patterns, probing, inference, and scheduling.
+
+The central abstraction is the *Tango pattern* (Section 4): a sequence of
+standard OpenFlow flow_mod commands plus a corresponding data-traffic
+pattern.  The probing engine applies patterns to switches and stores the
+measurements in the Tango score database; the switch inference engine
+derives flow-table sizes (Algorithm 1) and cache policies (Algorithm 2)
+from them; the Tango scheduler uses the resulting cost knowledge to
+reorder rule installations.
+"""
+
+from repro.core.api import Tango
+from repro.core.behavior_inference import BehaviorProber, BehaviorProbeResult
+from repro.core.clustering import Cluster, cluster_1d
+from repro.core.inference import InferredSwitchModel, SwitchInferenceEngine
+from repro.core.latency_curves import LatencyCurve, LatencyCurveProber
+from repro.core.patterns import (
+    ProbePattern,
+    RewritePattern,
+    TangoPatternDatabase,
+    default_rewrite_patterns,
+    make_del_mod_add_pattern,
+    make_type_only_pattern,
+)
+from repro.core.online_probing import (
+    DriftDetector,
+    DriftFinding,
+    OnlineSizeProber,
+    OnlineSizeResult,
+)
+from repro.core.pipeline_inference import PipelineProber, PipelineProbeResult
+from repro.core.placement import FlowPlacer, FlowRequirements, PlacementScore
+from repro.core.policy_inference import PolicyProber, PolicyProbeResult
+from repro.core.priorities import (
+    assign_r_priorities,
+    assign_topological_priorities,
+    enforce_topological_priorities,
+)
+from repro.core.probing import ProbeHandle, ProbingEngine
+from repro.core.requests import RequestDag, SwitchRequest
+from repro.core.scheduler import (
+    BasicTangoScheduler,
+    ConcurrentTangoScheduler,
+    DeadlineAwareTangoScheduler,
+    NetworkExecutor,
+    PrefixTangoScheduler,
+    ScheduleResult,
+)
+from repro.core.scores import TangoScoreDatabase
+from repro.core.size_inference import SizeProber, SizeProbeResult
+
+__all__ = [
+    "Tango",
+    "BehaviorProber",
+    "BehaviorProbeResult",
+    "Cluster",
+    "cluster_1d",
+    "InferredSwitchModel",
+    "SwitchInferenceEngine",
+    "LatencyCurve",
+    "LatencyCurveProber",
+    "ProbePattern",
+    "RewritePattern",
+    "TangoPatternDatabase",
+    "default_rewrite_patterns",
+    "make_del_mod_add_pattern",
+    "make_type_only_pattern",
+    "DriftDetector",
+    "DriftFinding",
+    "OnlineSizeProber",
+    "OnlineSizeResult",
+    "PipelineProber",
+    "PipelineProbeResult",
+    "FlowPlacer",
+    "FlowRequirements",
+    "PlacementScore",
+    "PolicyProber",
+    "PolicyProbeResult",
+    "assign_topological_priorities",
+    "assign_r_priorities",
+    "enforce_topological_priorities",
+    "ProbingEngine",
+    "ProbeHandle",
+    "RequestDag",
+    "SwitchRequest",
+    "BasicTangoScheduler",
+    "PrefixTangoScheduler",
+    "ConcurrentTangoScheduler",
+    "DeadlineAwareTangoScheduler",
+    "NetworkExecutor",
+    "ScheduleResult",
+    "TangoScoreDatabase",
+    "SizeProber",
+    "SizeProbeResult",
+]

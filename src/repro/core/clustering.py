@@ -1,0 +1,95 @@
+"""One-dimensional RTT clustering.
+
+The size-probing pattern (Algorithm 1, stage 2) sends a probe packet per
+installed flow and clusters the round-trip times; each cluster corresponds
+to one flow-table layer (Figure 5 shows the three well-separated bands of
+hardware switch #2).  Layers differ by milliseconds while within-layer
+jitter is tens of microseconds, so a gap-based splitter is both simple
+and robust.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """One latency band (one flow-table layer)."""
+
+    mean_ms: float
+    lo_ms: float
+    hi_ms: float
+    count: int
+
+    def contains(self, rtt_ms: float, margin_ms: float = 0.0) -> bool:
+        return self.lo_ms - margin_ms <= rtt_ms <= self.hi_ms + margin_ms
+
+
+def cluster_1d(
+    values: Sequence[float],
+    min_gap_ms: float = 0.5,
+    min_cluster_fraction: float = 0.0,
+) -> List[Cluster]:
+    """Split sorted RTTs wherever consecutive values gap by > ``min_gap_ms``.
+
+    Args:
+        values: RTT samples in milliseconds.
+        min_gap_ms: a gap larger than this separates two layers.  Layer
+            latencies in the paper differ by >= ~1 ms while jitter is well
+            under 0.5 ms, so the default cleanly separates tiers.
+        min_cluster_fraction: clusters holding fewer than this fraction of
+            samples are merged into their nearest neighbour (guards
+            against a stray outlier founding a fake layer).
+
+    Returns:
+        Clusters sorted by ascending mean (fastest layer first).
+    """
+    if not values:
+        return []
+    ordered = sorted(values)
+    groups: List[List[float]] = [[ordered[0]]]
+    for value in ordered[1:]:
+        if value - groups[-1][-1] > min_gap_ms:
+            groups.append([value])
+        else:
+            groups[-1].append(value)
+
+    if min_cluster_fraction > 0 and len(groups) > 1:
+        threshold = min_cluster_fraction * len(ordered)
+        merged: List[List[float]] = []
+        for group in groups:
+            if merged and len(group) < threshold:
+                merged[-1].extend(group)
+            elif not merged and len(group) < threshold and len(groups) > 1:
+                # A tiny leading group merges forward instead.
+                groups[1][:0] = group
+            else:
+                merged.append(group)
+        groups = merged or groups
+
+    return [
+        Cluster(
+            mean_ms=sum(g) / len(g),
+            lo_ms=g[0],
+            hi_ms=g[-1],
+            count=len(g),
+        )
+        for g in groups
+    ]
+
+
+def assign_cluster(
+    clusters: Sequence[Cluster], rtt_ms: float, margin_ms: float = 0.25
+) -> Optional[int]:
+    """Index of the cluster containing ``rtt_ms``, else nearest by mean.
+
+    Returns ``None`` when the RTT is far (more than ``margin_ms``) outside
+    every cluster's observed range -- e.g. a control-path RTT seen during
+    sampling after the cache state shifted.
+    """
+    for index, cluster in enumerate(clusters):
+        if cluster.contains(rtt_ms, margin_ms=margin_ms):
+            return index
+    return None

@@ -1,0 +1,206 @@
+"""The switch inference engine: orchestrates all probes for one switch.
+
+Given a switch (or a profile to build fresh instances from), the engine
+runs the size probe (Algorithm 1), the cache-policy probe (Algorithm 2),
+and the latency-curve probe, and assembles an
+:class:`InferredSwitchModel` -- Tango's abstraction of the switch that
+schedulers and applications consume instead of vendor documentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.behavior_inference import BehaviorProber, BehaviorProbeResult
+from repro.core.latency_curves import (
+    LatencyCurve,
+    LatencyCurveProber,
+    PriorityPattern,
+    derive_rewrite_patterns,
+)
+from repro.core.patterns import RewritePattern
+from repro.core.policy_inference import PolicyProber, PolicyProbeResult
+from repro.core.probing import ProbingEngine
+from repro.core.scheduler import DurationEstimator
+from repro.core.scores import TangoScoreDatabase
+from repro.core.size_inference import SizeProber, SizeProbeResult
+from repro.openflow.channel import ControlChannel
+from repro.openflow.messages import FlowModCommand
+from repro.core.requests import SwitchRequest
+from repro.sim.rng import SeededRng
+from repro.switches.profiles import SwitchProfile
+
+
+@dataclass
+class InferredSwitchModel:
+    """Everything Tango learned about one switch."""
+
+    name: str
+    size_probe: Optional[SizeProbeResult] = None
+    policy_probe: Optional[PolicyProbeResult] = None
+    behavior_probe: Optional[BehaviorProbeResult] = None
+    latency_curves: Dict[Tuple[FlowModCommand, PriorityPattern], LatencyCurve] = field(
+        default_factory=dict
+    )
+
+    @property
+    def layer_sizes(self) -> List[Optional[int]]:
+        if self.size_probe is None:
+            return []
+        return [layer.estimated_size for layer in self.size_probe.layers]
+
+    @property
+    def fast_table_size(self) -> Optional[int]:
+        sizes = self.layer_sizes
+        return sizes[0] if sizes else None
+
+    def rewrite_patterns(self) -> List[RewritePattern]:
+        """Switch-specific rewrite patterns from the measured curves."""
+        if not self.latency_curves:
+            return []
+        return derive_rewrite_patterns(self.latency_curves)
+
+    def to_dict(self) -> dict:
+        """A JSON-serialisable summary of the inferred model.
+
+        Lets operators persist TangoDB contents across controller
+        restarts or share them between controllers.
+        """
+        summary: dict = {"name": self.name}
+        if self.size_probe is not None:
+            summary["layers"] = [
+                {
+                    "size": layer.estimated_size,
+                    "mean_rtt_ms": round(layer.mean_rtt_ms, 4),
+                }
+                for layer in self.size_probe.layers
+            ]
+            summary["cache_full"] = self.size_probe.cache_full
+        if self.policy_probe is not None:
+            summary["policy"] = [
+                {"attribute": attribute.value, "direction": direction.name}
+                for attribute, direction in self.policy_probe.terms
+            ]
+        if self.behavior_probe is not None:
+            summary["behavior"] = {
+                "traffic_driven_caching": self.behavior_probe.traffic_driven_caching,
+                "first_packet_penalty_ms": round(
+                    self.behavior_probe.first_packet_penalty_ms, 4
+                ),
+                "control_path_ms": round(self.behavior_probe.control_path_ms, 4),
+            }
+        if self.latency_curves:
+            summary["latency_curves"] = {
+                f"{op.value}/{pattern.value}": {
+                    "linear_ms": round(curve.linear_ms, 6),
+                    "quadratic_ms": round(curve.quadratic_ms, 8),
+                }
+                for (op, pattern), curve in self.latency_curves.items()
+            }
+        return summary
+
+    def duration_estimator(self) -> DurationEstimator:
+        """Per-request duration estimates from the measured curves.
+
+        Additions are estimated from the ascending-priority curve at the
+        switch's current fill level (a conservative per-op marginal cost);
+        modifications and deletions use their flat curves.
+        """
+        curves = self.latency_curves
+
+        def estimate(request: SwitchRequest) -> float:
+            if request.command is FlowModCommand.ADD:
+                curve = curves.get((FlowModCommand.ADD, PriorityPattern.ASCENDING))
+            else:
+                curve = curves.get((request.command, PriorityPattern.SAME))
+            if curve is None:
+                return 1.0
+            return curve.per_op_ms(0)
+
+        return estimate
+
+
+class SwitchInferenceEngine:
+    """Runs Tango's probes against one switch profile.
+
+    Args:
+        profile: the switch profile to infer (fresh instances are built
+            for destructive probes such as the latency curves).
+        scores: shared Tango score database.
+        seed: base RNG seed for all probes.
+        size_probe_max_rules: cap for switches that never reject adds.
+        latency_batch_sizes: batch sizes for the latency-curve probe.
+    """
+
+    def __init__(
+        self,
+        profile: SwitchProfile,
+        scores: Optional[TangoScoreDatabase] = None,
+        seed: int = 0,
+        size_probe_max_rules: int = 8192,
+        size_accuracy_target: float = 0.02,
+        latency_batch_sizes: Tuple[int, ...] = (100, 400, 900, 1600),
+        policy_cache_size: Optional[int] = None,
+    ) -> None:
+        self.profile = profile
+        self.scores = scores if scores is not None else TangoScoreDatabase()
+        self.seed = seed
+        self.size_probe_max_rules = size_probe_max_rules
+        self.size_accuracy_target = size_accuracy_target
+        self.latency_batch_sizes = latency_batch_sizes
+        self.policy_cache_size = policy_cache_size
+        self._build_count = 0
+
+    def _fresh_engine(self) -> ProbingEngine:
+        self._build_count += 1
+        switch = self.profile.build(seed=self.seed + self._build_count)
+        channel = ControlChannel(switch)
+        return ProbingEngine(
+            channel,
+            scores=self.scores,
+            rng=SeededRng(self.seed).child(f"probe:{self._build_count}"),
+        )
+
+    # -- individual probes ------------------------------------------------------
+    def infer_sizes(self) -> SizeProbeResult:
+        prober = SizeProber(
+            self._fresh_engine(),
+            max_rules=self.size_probe_max_rules,
+            accuracy_target=self.size_accuracy_target,
+        )
+        return prober.probe()
+
+    def infer_policy(self, cache_size: int) -> PolicyProbeResult:
+        prober = PolicyProber(self._fresh_engine(), cache_size=cache_size)
+        return prober.probe()
+
+    def infer_latency_curves(
+        self,
+    ) -> Dict[Tuple[FlowModCommand, PriorityPattern], LatencyCurve]:
+        prober = LatencyCurveProber(
+            self._fresh_engine,
+            batch_sizes=self.latency_batch_sizes,
+            scores=self.scores,
+        )
+        return prober.probe()
+
+    def infer_behavior(self) -> BehaviorProbeResult:
+        return BehaviorProber(self._fresh_engine()).probe()
+
+    # -- full inference ------------------------------------------------------------
+    def infer(self, include_policy: bool = True) -> InferredSwitchModel:
+        """Run all probes and assemble the switch model."""
+        model = InferredSwitchModel(name=self.profile.name)
+        model.size_probe = self.infer_sizes()
+        model.behavior_probe = self.infer_behavior()
+        if include_policy:
+            cache_size = self.policy_cache_size
+            if cache_size is None:
+                cache_size = model.fast_table_size
+            multi_layer = model.size_probe.num_layers > 1
+            if cache_size is not None and cache_size >= 8 and multi_layer:
+                model.policy_probe = self.infer_policy(cache_size)
+        model.latency_curves = self.infer_latency_curves()
+        self.scores.put(self.profile.name, "switch_model", model)
+        return model

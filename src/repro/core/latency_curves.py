@@ -1,0 +1,242 @@
+"""Rule-operation latency curves.
+
+Tango probes each switch with rewriting patterns -- the same set of rule
+operations issued in different orders -- and records how installation
+time scales with batch size and priority pattern (paper Figures 3a-3c).
+The fitted curves feed two consumers:
+
+* the scheduler's rewrite-pattern weights (how much worse descending-
+  priority adds are than ascending ones on *this* switch), and
+* the concurrent-dispatch extension, which needs per-operation duration
+  estimates to compute guard times.
+
+Total time for ``n`` operations is fitted as ``t(n) = a*n + b*n^2``: the
+linear term is the per-operation base cost and the quadratic term
+captures TCAM entry shifting.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.patterns import RewritePattern, make_del_mod_add_pattern
+from repro.core.probing import ProbingEngine
+from repro.core.scores import TangoScoreDatabase
+from repro.openflow.errors import TableFullError
+from repro.openflow.messages import FlowModCommand
+
+
+class PriorityPattern(enum.Enum):
+    """Priority orderings exercised by the latency probe (Figure 3c)."""
+
+    ASCENDING = "ascending"
+    DESCENDING = "descending"
+    SAME = "same"
+    RANDOM = "random"
+
+
+@dataclass(frozen=True)
+class LatencyCurve:
+    """A fitted ``t(n) = a*n + b*n^2`` installation-time curve (ms)."""
+
+    op: FlowModCommand
+    pattern: PriorityPattern
+    linear_ms: float
+    quadratic_ms: float
+    samples: Tuple[Tuple[int, float], ...] = ()
+
+    def total_ms(self, n: int) -> float:
+        """Estimated total time to apply ``n`` operations."""
+        return self.linear_ms * n + self.quadratic_ms * n * n
+
+    def per_op_ms(self, n_existing: int) -> float:
+        """Estimated marginal cost of the next operation."""
+        return self.total_ms(n_existing + 1) - self.total_ms(n_existing)
+
+
+def fit_curve(
+    op: FlowModCommand,
+    pattern: PriorityPattern,
+    samples: Sequence[Tuple[int, float]],
+) -> LatencyCurve:
+    """Least-squares fit of ``t(n) = a*n + b*n^2`` through the samples."""
+    if not samples:
+        raise ValueError("need at least one sample to fit")
+    ns = np.array([n for n, _ in samples], dtype=float)
+    ts = np.array([t for _, t in samples], dtype=float)
+    design = np.column_stack([ns, ns * ns])
+    coef, *_ = np.linalg.lstsq(design, ts, rcond=None)
+    return LatencyCurve(
+        op=op,
+        pattern=pattern,
+        linear_ms=max(0.0, float(coef[0])),
+        quadratic_ms=max(0.0, float(coef[1])),
+        samples=tuple((int(n), float(t)) for n, t in samples),
+    )
+
+
+class LatencyCurveProber:
+    """Measures installation-time curves on fresh switch instances.
+
+    Each measurement needs a pristine switch (installs perturb TCAM
+    state), so the prober takes a factory of probing engines rather than
+    a single channel.
+
+    Args:
+        engine_factory: returns a probing engine to a *fresh* switch.
+        batch_sizes: rule counts at which to sample the curve.
+        scores: shared score database for the fitted curves.
+    """
+
+    def __init__(
+        self,
+        engine_factory: Callable[[], ProbingEngine],
+        batch_sizes: Sequence[int] = (100, 400, 900, 1600),
+        scores: Optional[TangoScoreDatabase] = None,
+    ) -> None:
+        if not batch_sizes:
+            raise ValueError("need at least one batch size")
+        self.engine_factory = engine_factory
+        self.batch_sizes = tuple(sorted(batch_sizes))
+        self.scores = scores if scores is not None else TangoScoreDatabase()
+        self._switch_name: Optional[str] = None
+
+    # -- measurement ---------------------------------------------------------
+    def _priorities(self, pattern: PriorityPattern, n: int, rng) -> List[int]:
+        if pattern is PriorityPattern.ASCENDING:
+            return list(range(1, n + 1))
+        if pattern is PriorityPattern.DESCENDING:
+            return list(range(n, 0, -1))
+        if pattern is PriorityPattern.SAME:
+            return [100] * n
+        universe = list(range(1, 4 * n + 1))
+        return rng.sample(universe, n)
+
+    def _measure_add(self, pattern: PriorityPattern, n: int) -> Tuple[int, float]:
+        """Returns (rules actually installed, elapsed ms).
+
+        Bounded switches may reject before ``n`` rules land; the sample
+        is then truncated at the rejection point.
+        """
+        engine = self.engine_factory()
+        self._switch_name = engine.switch_name
+        priorities = self._priorities(pattern, n, engine.rng)
+        start = engine.now_ms
+        installed = 0
+        for priority in priorities:
+            handle = engine.new_handle(priority=priority)
+            try:
+                engine.install_flow(handle)
+            except TableFullError:
+                break
+            installed += 1
+        return installed, engine.now_ms - start
+
+    def _preinstall(self, engine: ProbingEngine, n: int) -> list:
+        handles = []
+        for _ in range(n):
+            handle = engine.new_handle(priority=100)
+            try:
+                engine.install_flow(handle)
+            except TableFullError:
+                break
+            handles.append(handle)
+        return handles
+
+    def _measure_mod(self, n: int) -> Tuple[int, float]:
+        engine = self.engine_factory()
+        self._switch_name = engine.switch_name
+        handles = self._preinstall(engine, n)
+        start = engine.now_ms
+        for handle in handles:
+            engine.channel.send_flow_mod(handle.flow_mod(FlowModCommand.MODIFY))
+        return len(handles), engine.now_ms - start
+
+    def _measure_del(self, n: int) -> Tuple[int, float]:
+        engine = self.engine_factory()
+        self._switch_name = engine.switch_name
+        handles = self._preinstall(engine, n)
+        start = engine.now_ms
+        for handle in handles:
+            engine.channel.send_flow_mod(handle.flow_mod(FlowModCommand.DELETE))
+        return len(handles), engine.now_ms - start
+
+    # -- public API -----------------------------------------------------------
+    @staticmethod
+    def _dedupe(samples):
+        """Keep one sample per distinct installed count (truncation can
+        map several requested batch sizes onto the switch's capacity)."""
+        unique = {}
+        for count, elapsed in samples:
+            if count > 0:
+                unique[count] = elapsed
+        return sorted(unique.items())
+
+    def probe(self) -> Dict[Tuple[FlowModCommand, PriorityPattern], LatencyCurve]:
+        """Measure and fit all (operation, priority pattern) curves."""
+        curves: Dict[Tuple[FlowModCommand, PriorityPattern], LatencyCurve] = {}
+        for pattern in PriorityPattern:
+            samples = self._dedupe(
+                self._measure_add(pattern, n) for n in self.batch_sizes
+            )
+            curves[(FlowModCommand.ADD, pattern)] = fit_curve(
+                FlowModCommand.ADD, pattern, samples
+            )
+        mod_samples = self._dedupe(self._measure_mod(n) for n in self.batch_sizes)
+        curves[(FlowModCommand.MODIFY, PriorityPattern.SAME)] = fit_curve(
+            FlowModCommand.MODIFY, PriorityPattern.SAME, mod_samples
+        )
+        del_samples = self._dedupe(self._measure_del(n) for n in self.batch_sizes)
+        curves[(FlowModCommand.DELETE, PriorityPattern.SAME)] = fit_curve(
+            FlowModCommand.DELETE, PriorityPattern.SAME, del_samples
+        )
+        if self._switch_name is not None:
+            for (op, pattern), curve in curves.items():
+                self.scores.put(
+                    self._switch_name,
+                    "latency_curve",
+                    curve,
+                    op=op.value,
+                    pattern=pattern.value,
+                )
+        return curves
+
+
+def derive_rewrite_patterns(
+    curves: Dict[Tuple[FlowModCommand, PriorityPattern], LatencyCurve],
+    reference_n: int = 200,
+) -> List[RewritePattern]:
+    """Turn measured curves into switch-specific rewrite patterns.
+
+    The paper's default patterns use fixed weights; with measured curves
+    Tango can weight each pattern by the switch's actual costs, e.g. OVS
+    gets (near-)equal ascending/descending weights while hardware
+    switches heavily penalise descending adds.
+    """
+    del_curve = curves[(FlowModCommand.DELETE, PriorityPattern.SAME)]
+    mod_curve = curves[(FlowModCommand.MODIFY, PriorityPattern.SAME)]
+    del_w = max(1e-6, del_curve.total_ms(reference_n) / reference_n)
+    mod_w = max(1e-6, mod_curve.total_ms(reference_n) / reference_n)
+
+    patterns = []
+    for pattern_kind, name in (
+        (PriorityPattern.ASCENDING, "DEL MOD ASCEND_ADD"),
+        (PriorityPattern.DESCENDING, "DEL MOD DESCEND_ADD"),
+    ):
+        add_curve = curves[(FlowModCommand.ADD, pattern_kind)]
+        # Normalise so the weight multiplies |ADD|^2 like the paper's score.
+        add_w = max(1e-6, add_curve.total_ms(reference_n) / (reference_n**2))
+        patterns.append(
+            make_del_mod_add_pattern(
+                name,
+                add_weight=add_w,
+                del_weight=del_w,
+                mod_weight=mod_w,
+                ascending_adds=pattern_kind is PriorityPattern.ASCENDING,
+            )
+        )
+    return patterns

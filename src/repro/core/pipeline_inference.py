@@ -1,0 +1,204 @@
+"""Pipeline inference: multiple tables and their properties.
+
+The paper's conclusion names this as future work: "expand the set of
+Tango patterns to infer other switch capabilities such as multiple
+tables and their priorities."  Three patterns are implemented:
+
+1. **Table count** -- install a trivial rule at increasing ``table_id``
+   until the switch answers with an error: the first rejected id is the
+   pipeline length.
+2. **Per-table lookup latency** -- build a GotoTable chain reaching
+   table ``t`` and measure the probe RTT; the *increment* from the
+   ``t-1`` chain isolates table ``t``'s lookup cost.  The table with the
+   smallest lookup cost is the hardware-backed one ("only entries
+   belonging to a single table are eligible to be pushed into TCAM",
+   Section 2).
+3. **Per-table capacity** -- fill each table until the add is rejected
+   (or a cap is reached, marking the table software/unbounded).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.probing import probe_match, probe_packet
+from repro.openflow.actions import GotoTableAction, OutputAction
+from repro.openflow.channel import ControlChannel
+from repro.openflow.errors import BadMatchError, TableFullError
+from repro.openflow.messages import FlowMod, FlowModCommand, PacketOut
+from repro.sim.rng import SeededRng
+
+
+@dataclass
+class PipelineProbeResult:
+    """Inferred pipeline structure."""
+
+    num_tables: int
+    lookup_ms: List[float] = field(default_factory=list)
+    hardware_table_id: Optional[int] = None
+    table_sizes: List[Optional[int]] = field(default_factory=list)
+
+
+class PipelineProber:
+    """Infers pipeline structure through the control channel.
+
+    Args:
+        channel: control channel to the switch under probe.
+        rng: randomness source.
+        max_tables: upper bound on the pipeline length searched.
+        size_cap: per-table fill cap; tables absorbing this many rules
+            are reported unbounded.
+        rtt_samples: probe packets per latency measurement.
+    """
+
+    def __init__(
+        self,
+        channel: ControlChannel,
+        rng: Optional[SeededRng] = None,
+        max_tables: int = 16,
+        size_cap: int = 4096,
+        rtt_samples: int = 12,
+    ) -> None:
+        self.channel = channel
+        self.rng = rng if rng is not None else SeededRng(0).child("pipeline")
+        self.max_tables = max_tables
+        self.size_cap = size_cap
+        self.rtt_samples = rtt_samples
+        self._next_index = 0x00F0_0000
+
+    def _fresh_index(self) -> int:
+        self._next_index += 1
+        return self._next_index
+
+    # -- pattern 1: table count ----------------------------------------------------
+    def count_tables(self) -> int:
+        """Number of pipeline tables (first rejected table id)."""
+        count = 0
+        for table_id in range(self.max_tables):
+            index = self._fresh_index()
+            flow_mod = FlowMod(
+                FlowModCommand.ADD,
+                probe_match(index),
+                priority=100,
+                table_id=table_id,
+            )
+            try:
+                self.channel.send_flow_mod(flow_mod)
+            except BadMatchError:
+                break
+            except TableFullError:
+                pass  # table exists, merely full
+            else:
+                self.channel.send_flow_mod(
+                    FlowMod(
+                        FlowModCommand.DELETE,
+                        probe_match(index),
+                        actions=(),
+                        table_id=table_id,
+                    )
+                )
+            count += 1
+        return count
+
+    # -- pattern 2: per-table lookup latency ---------------------------------------
+    def _chain_rtt(self, depth: int) -> float:
+        """Mean RTT of a probe traversing tables 0..depth."""
+        index = self._fresh_index()
+        match = probe_match(index)
+        packet = probe_packet(index)
+        installed = []
+        for table_id in range(depth + 1):
+            if table_id < depth:
+                actions = (GotoTableAction(table_id=table_id + 1),)
+            else:
+                actions = (OutputAction(port=1),)
+            flow_mod = FlowMod(
+                FlowModCommand.ADD,
+                match,
+                priority=100,
+                actions=actions,
+                table_id=table_id,
+            )
+            self.channel.send_flow_mod(flow_mod)
+            installed.append(table_id)
+        rtts = [
+            self.channel.send_packet_out(PacketOut(packet=packet))
+            for _ in range(self.rtt_samples)
+        ]
+        for table_id in installed:
+            self.channel.send_flow_mod(
+                FlowMod(FlowModCommand.DELETE, match, actions=(), table_id=table_id)
+            )
+        return statistics.mean(rtts)
+
+    def measure_lookups(self, num_tables: int) -> List[float]:
+        """Per-table lookup latency via GotoTable chain increments."""
+        chain_rtts = [self._chain_rtt(depth) for depth in range(num_tables)]
+        lookups = [chain_rtts[0]]
+        for depth in range(1, num_tables):
+            lookups.append(max(0.0, chain_rtts[depth] - chain_rtts[depth - 1]))
+        return lookups
+
+    # -- pattern 3: per-table capacity ------------------------------------------------
+    def measure_size(self, table_id: int) -> Optional[int]:
+        """Fill table ``table_id`` until rejection (None = unbounded)."""
+        installed = []
+        size: Optional[int] = None
+        for count in range(self.size_cap):
+            index = self._fresh_index()
+            flow_mod = FlowMod(
+                FlowModCommand.ADD,
+                probe_match(index),
+                priority=100,
+                table_id=table_id,
+            )
+            try:
+                self.channel.send_flow_mod(flow_mod)
+            except TableFullError:
+                size = count
+                break
+            installed.append(index)
+        for index in installed:
+            self.channel.send_flow_mod(
+                FlowMod(
+                    FlowModCommand.DELETE,
+                    probe_match(index),
+                    actions=(),
+                    table_id=table_id,
+                )
+            )
+        return size
+
+    # -- full probe ----------------------------------------------------------------------
+    def probe(self, measure_sizes: bool = True) -> PipelineProbeResult:
+        """Run all pipeline patterns."""
+        num_tables = self.count_tables()
+        result = PipelineProbeResult(num_tables=num_tables)
+        if num_tables == 0:
+            return result
+        result.lookup_ms = self.measure_lookups(num_tables)
+        # The channel round trip rides on every chain RTT; compare the
+        # *incremental* costs, where it cancels except for table 0.  A
+        # conservative correction subtracts the smallest increment seen.
+        if num_tables > 1:
+            corrected = [
+                result.lookup_ms[0] - 2 * _channel_guess(self.channel)
+            ] + result.lookup_ms[1:]
+            result.hardware_table_id = min(
+                range(num_tables), key=lambda t: corrected[t]
+            )
+        else:
+            result.hardware_table_id = 0
+        if measure_sizes:
+            result.table_sizes = [
+                self.measure_size(table_id) for table_id in range(num_tables)
+            ]
+        return result
+
+
+def _channel_guess(channel: ControlChannel) -> float:
+    """Rough one-way channel latency from the channel's own model."""
+    one_way = getattr(channel, "_one_way", None)
+    return one_way.mean_ms if one_way is not None else 0.0

@@ -1,0 +1,287 @@
+"""Cache-replacement policy inference (paper Algorithm 2).
+
+Under the ATTRIB / MONOTONE / LEX switch model, the cache policy is a
+lexicographic ordering over (insertion time, use time, traffic count,
+priority) with a monotone direction per attribute.  The probe:
+
+1. installs ``s = 2 * cache_size`` flows and *initialises* each attribute
+   so that every attribute splits the flows into a high half and a low
+   half, with the halves of different attributes statistically
+   independent (a balanced bit design; Figure 6 visualises one instance);
+2. probes every flow once in reverse-use (MRU-first) order -- an order
+   chosen so that probing never changes any flow's *relative* position
+   under any attribute (use times are refreshed in an order-preserving
+   way; traffic counts are initialised with gaps larger than the +1 a
+   probe adds);
+3. marks each flow cached/not-cached from its RTT tier, correlates the
+   cached bit against every (attribute, direction) pair, and picks the
+   strongest;
+4. recurses with the found attribute held constant to expose the next
+   lexicographic term, terminating when a *serial* attribute (insertion
+   or use time, which are unique by construction and already induce a
+   total order) is found.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.clustering import Cluster, assign_cluster, cluster_1d
+from repro.core.probing import ProbeHandle, ProbingEngine
+from repro.tables.entry import SERIAL_ATTRIBUTES, FlowAttribute
+from repro.tables.policies import CachePolicy, Direction
+
+#: Bit assignment: which bit of (flow_index % 16) drives each attribute's
+#: high/low half.  Any fixed assignment works; independence comes from the
+#: bits being balanced and pairwise independent over blocks of 16.
+_ATTRIBUTE_BITS: Dict[FlowAttribute, int] = {
+    FlowAttribute.INSERTION: 0,
+    FlowAttribute.USE_TIME: 1,
+    FlowAttribute.TRAFFIC: 2,
+    FlowAttribute.PRIORITY: 3,
+}
+
+#: Traffic counts for the low/high halves; the gap (>= 10, as in the
+#: paper) absorbs the single extra packet each later probe adds.
+_TRAFFIC_LOW_PACKETS = 2
+_TRAFFIC_HIGH_PACKETS = 12
+
+_PRIORITY_CONSTANT = 1000
+
+
+@dataclass
+class PolicyProbeResult:
+    """Inference outcome for one switch."""
+
+    terms: List[Tuple[FlowAttribute, Direction]]
+    correlations: List[Dict[str, float]] = field(default_factory=list)
+    rounds: int = 0
+
+    def as_policy(self, name: str = "inferred") -> CachePolicy:
+        return CachePolicy(terms=tuple(self.terms), name=name)
+
+    @property
+    def primary(self) -> Optional[Tuple[FlowAttribute, Direction]]:
+        return self.terms[0] if self.terms else None
+
+
+def _high_bit(index: int, attribute: FlowAttribute) -> bool:
+    return bool((index % 16) >> _ATTRIBUTE_BITS[attribute] & 1)
+
+
+class PolicyProber:
+    """Runs the policy-probing pattern against one switch.
+
+    Args:
+        engine: probing engine bound to the switch (should have no probe
+            flows installed; the prober cleans up between rounds).
+        cache_size: size of the cache layer under investigation (from the
+            size probe).
+        correlation_threshold: below this |correlation| no attribute is
+            considered to influence caching and the probe stops.
+        cluster_gap_ms: RTT gap separating latency tiers.
+    """
+
+    def __init__(
+        self,
+        engine: ProbingEngine,
+        cache_size: int,
+        correlation_threshold: float = 0.5,
+        cluster_gap_ms: float = 0.5,
+        max_terms: int = 4,
+    ) -> None:
+        if cache_size < 8:
+            raise ValueError("cache_size too small to probe reliably")
+        self.engine = engine
+        self.cache_size = cache_size
+        self.correlation_threshold = correlation_threshold
+        self.cluster_gap_ms = cluster_gap_ms
+        self.max_terms = max_terms
+
+    # -- one probing round -----------------------------------------------------
+    def _flow_count(self) -> int:
+        s = 2 * self.cache_size
+        return ((s + 15) // 16) * 16  # multiple of 16 keeps the bits balanced
+
+    def _initialise_round(
+        self, free_attributes: Sequence[FlowAttribute]
+    ) -> Tuple[List[ProbeHandle], Dict[FlowAttribute, List[float]]]:
+        """Install flows and initialise attributes; returns design values."""
+        s = self._flow_count()
+        indices = list(range(s))
+        values: Dict[FlowAttribute, List[float]] = {
+            attribute: [0.0] * s for attribute in FlowAttribute
+        }
+
+        # Priorities are fixed at insert time.
+        def priority_for(index: int) -> int:
+            if FlowAttribute.PRIORITY not in free_attributes:
+                return _PRIORITY_CONSTANT
+            return s + index if _high_bit(index, FlowAttribute.PRIORITY) else index
+
+        handles: List[Optional[ProbeHandle]] = [None] * s
+        insertion_order = sorted(
+            indices, key=lambda i: (_high_bit(i, FlowAttribute.INSERTION), i)
+        )
+        for insertion_rank, index in enumerate(insertion_order):
+            handle = self.engine.new_handle(priority=priority_for(index))
+            self.engine.install_flow(handle)
+            handles[index] = handle
+            values[FlowAttribute.INSERTION][index] = float(insertion_rank)
+            values[FlowAttribute.PRIORITY][index] = float(handle.priority)
+
+        # Traffic counts: high half gets more packets; constant otherwise.
+        for index in indices:
+            if FlowAttribute.TRAFFIC in free_attributes:
+                packets = (
+                    _TRAFFIC_HIGH_PACKETS
+                    if _high_bit(index, FlowAttribute.TRAFFIC)
+                    else _TRAFFIC_LOW_PACKETS
+                )
+            else:
+                packets = _TRAFFIC_LOW_PACKETS
+            for _ in range(packets):
+                self.engine.send_probe_packet(handles[index])
+            values[FlowAttribute.TRAFFIC][index] = float(packets)
+
+        # Use times last, so earlier traffic does not disturb the pattern.
+        use_order = sorted(
+            indices, key=lambda i: (_high_bit(i, FlowAttribute.USE_TIME), i)
+        )
+        for use_rank, index in enumerate(use_order):
+            self.engine.send_probe_packet(handles[index])
+            values[FlowAttribute.USE_TIME][index] = float(use_rank)
+
+        return [h for h in handles if h is not None], values
+
+    def _measure_cached_bits(
+        self, handles: List[ProbeHandle], order: Sequence[int]
+    ) -> Tuple[np.ndarray, List[Cluster]]:
+        """Probe flows in ``order``; classify each flow's tier.
+
+        Each RTT is recorded against the flow's layer *before* the probe's
+        own counter update, so the order only matters through the state
+        changes probes inflict on *later* measurements.
+        """
+        rtts = [0.0] * len(handles)
+        for index in order:
+            rtts[index] = self.engine.measure_rtt(handles[index])
+        clusters = cluster_1d(
+            rtts, min_gap_ms=self.cluster_gap_ms, min_cluster_fraction=0.002
+        )
+        cached = np.array(
+            [1.0 if assign_cluster(clusters, rtt) == 0 else 0.0 for rtt in rtts]
+        )
+        return cached, clusters
+
+    @staticmethod
+    def _correlate(values: Sequence[float], cached: np.ndarray) -> float:
+        array = np.asarray(values, dtype=float)
+        if array.std() == 0 or cached.std() == 0:
+            return 0.0
+        return float(np.corrcoef(array, cached)[0, 1])
+
+    # -- probing rounds ---------------------------------------------------------
+    def _first_round(
+        self, free: List[FlowAttribute]
+    ) -> Tuple[Optional[Tuple[FlowAttribute, Direction]], float, Dict[str, float]]:
+        """One initialisation, measured MRU-first; correlate everything.
+
+        With every attribute initialised far apart, probing cannot reorder
+        any attribute (Section 5.3), so a single measurement identifies
+        the primary sort attribute.
+        """
+        self.engine.remove_all_flows()
+        handles, values = self._initialise_round(free)
+        use_values = values[FlowAttribute.USE_TIME]
+        order = sorted(range(len(handles)), key=lambda i: -use_values[i])
+        cached, _ = self._measure_cached_bits(handles, order)
+
+        correlations: Dict[str, float] = {}
+        best: Optional[Tuple[FlowAttribute, Direction]] = None
+        best_abs = 0.0
+        for attribute in free:
+            corr = self._correlate(values[attribute], cached)
+            correlations[attribute.value] = corr
+            if abs(corr) > best_abs:
+                best_abs = abs(corr)
+                direction = Direction.INCREASING if corr > 0 else Direction.DECREASING
+                best = (attribute, direction)
+        return best, best_abs, correlations
+
+    def _recursion_round(
+        self, free: List[FlowAttribute]
+    ) -> Tuple[Optional[Tuple[FlowAttribute, Direction]], float, Dict[str, float]]:
+        """Identify the next lexicographic term with held-constant probing.
+
+        With the found attributes held constant, the flows *tie* on every
+        found attribute, so the +1 a probe adds to a flow's traffic count
+        (or its use-time refresh) can promote a not-yet-cached flow and
+        evict an unmeasured cached one, corrupting later measurements.
+        The defence is to measure once per candidate ``(attribute,
+        direction)`` in that candidate's *predicted-cached-first* order:
+        when the candidate is the true next term, every cached flow is
+        measured before the first promotion can evict one, so its
+        correlation is undamaged; wrong candidates only lose correlation
+        they never had.
+        """
+        best: Optional[Tuple[FlowAttribute, Direction]] = None
+        best_score = 0.0
+        correlations: Dict[str, float] = {}
+        for attribute in free:
+            for direction in (Direction.INCREASING, Direction.DECREASING):
+                self.engine.remove_all_flows()
+                handles, values = self._initialise_round(free)
+                candidate_values = values[attribute]
+                use_values = values[FlowAttribute.USE_TIME]
+                order = sorted(
+                    range(len(handles)),
+                    key=lambda i: (
+                        -direction.value * candidate_values[i],
+                        -use_values[i],
+                    ),
+                )
+                cached, _ = self._measure_cached_bits(handles, order)
+                corr = self._correlate(candidate_values, cached)
+                score = direction.value * corr
+                label = f"{attribute.value}:{'+' if direction is Direction.INCREASING else '-'}"
+                correlations[label] = corr
+                if score > best_score:
+                    best_score = score
+                    best = (attribute, direction)
+        return best, best_score, correlations
+
+    # -- public API -----------------------------------------------------------------
+    def probe(self) -> PolicyProbeResult:
+        """Infer the policy's lexicographic terms, primary first."""
+        result = PolicyProbeResult(terms=[])
+        found: List[FlowAttribute] = []
+        while len(result.terms) < self.max_terms:
+            free = [a for a in FlowAttribute if a not in found]
+            if not free:
+                break
+            if not found:
+                best, best_score, correlations = self._first_round(free)
+            else:
+                best, best_score, correlations = self._recursion_round(free)
+            result.rounds += 1
+            result.correlations.append(correlations)
+
+            if best is None or best_score < self.correlation_threshold:
+                break
+            result.terms.append(best)
+            found.append(best[0])
+            if best[0] in SERIAL_ATTRIBUTES:
+                break
+
+        self.engine.remove_all_flows()
+        self.engine.scores.put(
+            self.engine.switch_name,
+            "policy_probe",
+            result,
+            recorded_at_ms=self.engine.now_ms,
+        )
+        return result

@@ -1,0 +1,171 @@
+"""The Tango probing engine.
+
+The probing engine is the component that applies Tango patterns to
+switches and collects the measurements (Section 4).  It keeps
+controller-side handles for every probe flow it installs, so inference
+algorithms can later say "measure the RTT of flow 17" and get a data
+packet crafted to match exactly that rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.openflow.actions import Action
+from repro.openflow.channel import ControlChannel
+from repro.openflow.match import IpPrefix, Match, MatchKind, PacketFields
+from repro.openflow.messages import FlowMod, FlowModCommand, PacketOut
+from repro.core.patterns import ProbePattern
+from repro.core.scores import TangoScoreDatabase
+from repro.sim.rng import SeededRng
+
+
+@dataclass
+class ProbeHandle:
+    """Controller-side record of one installed probe flow."""
+
+    index: int
+    match: Match
+    packet: PacketFields
+    priority: int
+
+    def flow_mod(self, command: FlowModCommand = FlowModCommand.ADD) -> FlowMod:
+        return FlowMod(command=command, match=self.match, priority=self.priority)
+
+
+def probe_match(index: int, kind: MatchKind = MatchKind.L3, base: int = 0x0A00_0000) -> Match:
+    """A unique, non-overlapping match for probe flow ``index``.
+
+    L3 probes match a /32 destination; L2 probes match a destination MAC;
+    L2+L3 probes match both (and thus occupy wide TCAM slots).
+    """
+    address = base + index
+    if kind is MatchKind.L3:
+        return Match(eth_type=0x0800, ip_dst=IpPrefix(address, 32))
+    if kind is MatchKind.L2:
+        return Match(eth_dst=address)
+    return Match(eth_dst=address, eth_type=0x0800, ip_dst=IpPrefix(address, 32))
+
+
+def probe_packet(index: int, base: int = 0x0A00_0000) -> PacketFields:
+    """The data packet matching :func:`probe_match` for the same index."""
+    address = base + index
+    return PacketFields(eth_dst=address, eth_type=0x0800, ip_dst=address)
+
+
+class ProbingEngine:
+    """Applies probe patterns to one switch and records measurements.
+
+    Args:
+        channel: control channel to the switch under probe.
+        scores: shared Tango score database.
+        rng: randomness for sampling experiments.
+        match_kind: width class used for generated probe rules.
+    """
+
+    def __init__(
+        self,
+        channel: ControlChannel,
+        scores: Optional[TangoScoreDatabase] = None,
+        rng: Optional[SeededRng] = None,
+        match_kind: MatchKind = MatchKind.L3,
+        address_base: int = 0x0A00_0000,
+    ) -> None:
+        self.channel = channel
+        self.scores = scores if scores is not None else TangoScoreDatabase()
+        self.rng = rng if rng is not None else SeededRng(0).child("probing")
+        self.match_kind = match_kind
+        self.address_base = address_base
+        self.flows: List[ProbeHandle] = []
+        self._next_index = 0
+
+    @property
+    def switch_name(self) -> str:
+        return self.channel.switch.name
+
+    @property
+    def now_ms(self) -> float:
+        return self.channel.clock.now_ms
+
+    # -- flow management ------------------------------------------------------
+    def new_handle(self, priority: int = 100) -> ProbeHandle:
+        index = self._next_index
+        self._next_index += 1
+        return ProbeHandle(
+            index=index,
+            match=probe_match(index, self.match_kind, self.address_base),
+            packet=probe_packet(index, self.address_base),
+            priority=priority,
+        )
+
+    def install_flow(self, handle: ProbeHandle) -> None:
+        """Install the probe flow (raises TableFullError when rejected)."""
+        self.channel.send_flow_mod(handle.flow_mod(FlowModCommand.ADD))
+        self.flows.append(handle)
+
+    def install_new_flow(self, priority: int = 100) -> ProbeHandle:
+        handle = self.new_handle(priority=priority)
+        self.install_flow(handle)
+        return handle
+
+    def remove_all_flows(self) -> None:
+        for handle in self.flows:
+            self.channel.send_flow_mod(handle.flow_mod(FlowModCommand.DELETE))
+        self.flows.clear()
+
+    # -- traffic ---------------------------------------------------------------
+    def send_probe_packet(self, handle: ProbeHandle) -> float:
+        """Send one packet matching the handle's rule; returns RTT (ms)."""
+        return self.channel.send_packet_out(PacketOut(packet=handle.packet))
+
+    def measure_rtt(self, handle: ProbeHandle, retries: int = 3) -> float:
+        """The paper's MEASURE_RTT, with retransmission on probe loss.
+
+        A lossy channel reports a timeout RTT for dropped probes; like a
+        real measurement harness, the engine retransmits up to
+        ``retries`` times before giving up and returning the timeout.
+        """
+        timeout_ms = getattr(self.channel, "LOSS_TIMEOUT_MS", float("inf"))
+        rtt = self.send_probe_packet(handle)
+        attempts = 0
+        while rtt >= timeout_ms and attempts < retries:
+            rtt = self.send_probe_packet(handle)
+            attempts += 1
+        return rtt
+
+    def select_random(self) -> ProbeHandle:
+        """SELECT_RANDOM over the installed probe flows."""
+        return self.rng.choice(self.flows)
+
+    # -- pattern application ------------------------------------------------------
+    def apply_pattern(self, pattern: ProbePattern) -> Dict[str, object]:
+        """Apply a declarative probe pattern and record its measurements.
+
+        Returns a dict with the flow_mod completion time and the list of
+        per-packet RTTs, also stored in the score database.
+        """
+        start = self.now_ms
+        for flow_mod in pattern.flow_mods:
+            self.channel.send_flow_mod(flow_mod)
+        install_ms = self.now_ms - start
+        rtts = [
+            self.channel.send_packet_out(PacketOut(packet=packet))
+            for packet in pattern.traffic
+        ]
+        result = {"install_ms": install_ms, "rtts_ms": rtts}
+        self.scores.put(
+            self.switch_name,
+            "pattern_result",
+            result,
+            recorded_at_ms=self.now_ms,
+            pattern=pattern.name,
+        )
+        return result
+
+    def measure_install_time(self, flow_mods: Sequence[FlowMod]) -> float:
+        """Total virtual time (ms) to apply ``flow_mods`` in order."""
+        start = self.now_ms
+        for flow_mod in flow_mods:
+            self.channel.send_flow_mod(flow_mod)
+        return self.now_ms - start

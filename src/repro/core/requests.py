@@ -1,0 +1,174 @@
+"""Switch requests and the switch-request DAG (paper Section 6).
+
+A *switch request* is one rule operation targeted at one switch::
+
+    req_elem = {'location': switch_id,
+                'type':     add | del | mod,
+                'priority': priority number or none,
+                'rule parameters': match, action,
+                'install_by': ms or best effort}
+
+Requests may depend on each other (consistent-update ordering, barrier
+priorities for negation); the dependencies form a directed acyclic graph
+that the Tango scheduler consumes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.openflow.actions import Action, OutputAction
+from repro.openflow.match import Match
+from repro.openflow.messages import FlowMod, FlowModCommand
+
+
+@dataclass(frozen=True)
+class SwitchRequest:
+    """One rule operation bound for one switch."""
+
+    request_id: int
+    location: str
+    command: FlowModCommand
+    match: Match
+    priority: int = 0
+    actions: Tuple[Action, ...] = (OutputAction(port=1),)
+    install_by_ms: Optional[float] = None  # None = best effort
+
+    def flow_mod(self) -> FlowMod:
+        return FlowMod(
+            command=self.command,
+            match=self.match,
+            priority=self.priority,
+            actions=self.actions,
+            install_by_ms=self.install_by_ms,
+        )
+
+
+class RequestDag:
+    """A DAG of switch requests.
+
+    An edge ``a -> b`` means request ``a`` must complete before ``b`` is
+    issued (e.g. reverse-path consistent updates, or barrier rules that
+    implement negation).
+    """
+
+    def __init__(self) -> None:
+        self._graph = nx.DiGraph()
+        self._requests: Dict[int, SwitchRequest] = {}
+        self._done: Set[int] = set()
+        self._ids = itertools.count()
+
+    # -- construction ---------------------------------------------------------
+    def new_request(
+        self,
+        location: str,
+        command: FlowModCommand,
+        match: Match,
+        priority: int = 0,
+        actions: Tuple[Action, ...] = (OutputAction(port=1),),
+        install_by_ms: Optional[float] = None,
+        after: Iterable[SwitchRequest] = (),
+    ) -> SwitchRequest:
+        """Create and add a request, optionally dependent on ``after``."""
+        request = SwitchRequest(
+            request_id=next(self._ids),
+            location=location,
+            command=command,
+            match=match,
+            priority=priority,
+            actions=actions,
+            install_by_ms=install_by_ms,
+        )
+        self.add_request(request)
+        for parent in after:
+            self.add_dependency(parent, request)
+        return request
+
+    def add_request(self, request: SwitchRequest) -> None:
+        if request.request_id in self._requests:
+            raise ValueError(f"duplicate request id {request.request_id}")
+        self._requests[request.request_id] = request
+        self._graph.add_node(request.request_id)
+
+    def add_dependency(
+        self, first: SwitchRequest, then: SwitchRequest, check_cycle: bool = True
+    ) -> None:
+        """Require ``first`` to finish before ``then`` starts.
+
+        Args:
+            check_cycle: verify acyclicity after adding the edge.  Bulk
+                constructors that add edges in a known topological order
+                (e.g. ACL index order) may disable the per-edge check and
+                call :meth:`validate_acyclic` once at the end.
+
+        Raises:
+            ValueError: if the edge would create a cycle (the upper layer
+                must break dependency loops before scheduling).
+        """
+        self._graph.add_edge(first.request_id, then.request_id)
+        if check_cycle and not nx.is_directed_acyclic_graph(self._graph):
+            self._graph.remove_edge(first.request_id, then.request_id)
+            raise ValueError("dependency would create a cycle")
+
+    def validate_acyclic(self) -> None:
+        """Raise ValueError if the dependency graph contains a cycle."""
+        if not nx.is_directed_acyclic_graph(self._graph):
+            raise ValueError("dependency graph contains a cycle")
+
+    # -- scheduling queries --------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    @property
+    def requests(self) -> List[SwitchRequest]:
+        return list(self._requests.values())
+
+    def pending(self) -> List[SwitchRequest]:
+        return [r for rid, r in self._requests.items() if rid not in self._done]
+
+    def is_done(self) -> bool:
+        return len(self._done) == len(self._requests)
+
+    def independent_requests(self) -> List[SwitchRequest]:
+        """Pending requests whose dependencies have all completed."""
+        ready = []
+        for rid, request in self._requests.items():
+            if rid in self._done:
+                continue
+            if all(p in self._done for p in self._graph.predecessors(rid)):
+                ready.append(request)
+        return ready
+
+    def dependencies_of(self, request: SwitchRequest) -> List[SwitchRequest]:
+        return [self._requests[p] for p in self._graph.predecessors(request.request_id)]
+
+    def mark_done(self, request: SwitchRequest) -> None:
+        if request.request_id not in self._requests:
+            raise KeyError(f"unknown request {request.request_id}")
+        self._done.add(request.request_id)
+
+    def reset(self) -> None:
+        """Forget completion state (to re-run the same DAG)."""
+        self._done.clear()
+
+    # -- structure metrics ----------------------------------------------------
+    def critical_path_lengths(self) -> Dict[int, int]:
+        """Longest path (in requests) from each node to any sink.
+
+        Dionysus-style schedulers prioritise requests on long chains.
+        """
+        lengths: Dict[int, int] = {}
+        for node in reversed(list(nx.topological_sort(self._graph))):
+            succ = list(self._graph.successors(node))
+            lengths[node] = 1 + max((lengths[s] for s in succ), default=0)
+        return lengths
+
+    def depth(self) -> int:
+        """Number of levels in the DAG (1 = fully independent)."""
+        if not self._requests:
+            return 0
+        return max(self.critical_path_lengths().values())

@@ -1,0 +1,471 @@
+"""The Tango scheduler (paper Section 6, Algorithm 3) and its extensions.
+
+The basic scheduler repeatedly extracts the *independent set* of the
+switch-request DAG and asks the pattern oracle for the best issue order:
+every registered rewrite pattern scores the set (e.g. ``-(10*|DEL| +
+1*|MOD| + 20*|ADD|^2)``), the highest-scoring pattern wins, and the
+requests are issued in that pattern's order -- deletions first, then
+modifications, then additions sorted by priority in the cheap direction
+for this switch.
+
+Two extensions from the paper are implemented:
+
+* **Non-greedy prefix batching** (:class:`PrefixTangoScheduler`): instead
+  of always issuing the whole independent set, the scheduler evaluates
+  issuing only a prefix first (whose completion unlocks new requests and
+  thus larger, better-ordered future batches), picking the alternative
+  with the better estimated completion time.
+* **Concurrent dependent dispatch** (:class:`ConcurrentTangoScheduler`):
+  when request B depends on request A on a *different* switch, B can be
+  released before A completes provided B's estimated finish trails A's
+  by a guard interval (weak consistency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.patterns import RewritePattern, TangoPatternDatabase
+from repro.core.requests import RequestDag, SwitchRequest
+from repro.openflow.channel import ControlChannel
+from repro.openflow.messages import FlowModCommand
+
+
+@dataclass
+class IssueRecord:
+    """Timing of one issued request."""
+
+    request: SwitchRequest
+    started_ms: float
+    finished_ms: float
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of scheduling one request DAG."""
+
+    makespan_ms: float
+    records: List[IssueRecord] = field(default_factory=list)
+    rounds: int = 0
+    pattern_choices: List[str] = field(default_factory=list)
+    deadline_misses: int = 0
+
+    @property
+    def total_requests(self) -> int:
+        return len(self.records)
+
+
+class NetworkExecutor:
+    """Issues switch requests against simulated switches.
+
+    Each switch runs on its own virtual clock; the executor aligns all
+    clocks to a common epoch when created (or on :meth:`reset_epoch`), so
+    finish times are comparable across switches and dependent requests on
+    different switches serialise correctly.
+    """
+
+    def __init__(self, channels: Dict[str, ControlChannel]) -> None:
+        if not channels:
+            raise ValueError("need at least one switch channel")
+        self.channels = dict(channels)
+        self.epoch_ms = 0.0
+        self.reset_epoch()
+
+    def reset_epoch(self) -> None:
+        """Align every switch clock to a common starting instant."""
+        epoch = max(ch.clock.now_ms for ch in self.channels.values())
+        for channel in self.channels.values():
+            channel.clock.advance_to(epoch)
+        self.epoch_ms = epoch
+
+    def switch_available_at(self, location: str) -> float:
+        return self.channels[location].clock.now_ms
+
+    def issue(self, request: SwitchRequest, not_before_ms: float = 0.0) -> IssueRecord:
+        """Execute one request; the switch idles until ``not_before_ms``.
+
+        Raises:
+            KeyError: unknown switch location.
+        """
+        channel = self.channels[request.location]
+        channel.clock.advance_to(max(channel.clock.now_ms, not_before_ms))
+        started = channel.clock.now_ms
+        channel.send_flow_mod(request.flow_mod())
+        return IssueRecord(
+            request=request, started_ms=started, finished_ms=channel.clock.now_ms
+        )
+
+
+def count_commands(requests: Sequence[SwitchRequest]) -> Dict[FlowModCommand, int]:
+    counts: Dict[FlowModCommand, int] = {}
+    for request in requests:
+        counts[request.command] = counts.get(request.command, 0) + 1
+    return counts
+
+
+class _OrderingOracle:
+    """The paper's ``orderingTangoOracle``: pick the best rewrite pattern."""
+
+    def __init__(self, patterns: Sequence[RewritePattern]) -> None:
+        if not patterns:
+            raise ValueError("need at least one rewrite pattern")
+        self.patterns = list(patterns)
+
+    def choose(
+        self, requests: Sequence[SwitchRequest]
+    ) -> Tuple[RewritePattern, List[SwitchRequest]]:
+        counts = count_commands(requests)
+        best_pattern = max(self.patterns, key=lambda p: p.score_counts(counts))
+        ordered = sorted(
+            requests,
+            key=lambda r: best_pattern.order_key(r.command, r.priority)
+            + (r.request_id,),
+        )
+        return best_pattern, ordered
+
+
+class BasicTangoScheduler:
+    """Algorithm 3: greedy batches ordered by the pattern oracle.
+
+    Args:
+        executor: network executor bound to the target switches.
+        patterns: rewrite patterns to score (defaults to the pattern
+            database's registered set).
+        pattern_db: optional shared pattern database.
+    """
+
+    def __init__(
+        self,
+        executor: NetworkExecutor,
+        patterns: Optional[Sequence[RewritePattern]] = None,
+        pattern_db: Optional[TangoPatternDatabase] = None,
+    ) -> None:
+        self.executor = executor
+        if patterns is None:
+            db = pattern_db if pattern_db is not None else TangoPatternDatabase()
+            patterns = db.rewrite_patterns
+        self.oracle = _OrderingOracle(patterns)
+
+    def schedule(self, dag: RequestDag) -> ScheduleResult:
+        """Issue every request in the DAG; returns timing results.
+
+        Batches are the DAG's successive independent sets, each ordered
+        by the winning rewrite pattern.  Within the virtual timeline a
+        request starts as soon as its switch is free and its own
+        dependencies have finished -- there is no cross-switch barrier,
+        so independent work on different switches overlaps.
+        """
+        self.executor.reset_epoch()
+        result = ScheduleResult(makespan_ms=0.0)
+        finish_times: Dict[int, float] = {}
+        makespan = self.executor.epoch_ms
+        while not dag.is_done():
+            independent = dag.independent_requests()
+            if not independent:
+                raise RuntimeError("DAG not done but no independent requests")
+            pattern, ordered = self.oracle.choose(independent)
+            result.pattern_choices.append(pattern.name)
+            for request in ordered:
+                dep_finish = max(
+                    (
+                        finish_times[d.request_id]
+                        for d in dag.dependencies_of(request)
+                    ),
+                    default=self.executor.epoch_ms,
+                )
+                record = self.executor.issue(request, not_before_ms=dep_finish)
+                finish_times[request.request_id] = record.finished_ms
+                result.records.append(record)
+                dag.mark_done(request)
+                makespan = max(makespan, record.finished_ms)
+            result.rounds += 1
+        result.makespan_ms = makespan - self.executor.epoch_ms
+        result.deadline_misses = _count_deadline_misses(
+            result.records, self.executor.epoch_ms
+        )
+        return result
+
+
+def _count_deadline_misses(records: Sequence[IssueRecord], epoch_ms: float) -> int:
+    misses = 0
+    for record in records:
+        deadline = record.request.install_by_ms
+        if deadline is not None and record.finished_ms - epoch_ms > deadline:
+            misses += 1
+    return misses
+
+
+#: Estimates the duration (ms) of one request on its switch.
+DurationEstimator = Callable[[SwitchRequest], float]
+
+
+class PrefixTangoScheduler(BasicTangoScheduler):
+    """Non-greedy batching extension (the paper's "scheduling tree").
+
+    After ordering a batch, the scheduler considers issuing only a prefix
+    of it when the prefix's completion unlocks dependent requests: the
+    unlocked requests join the next batch, which may then be ordered more
+    cheaply (e.g. merging additions into one ascending run).  Candidate
+    prefixes are explored recursively up to ``lookahead_depth`` --
+    "a scheduling tree of possibilities" (Section 6, Extensions) -- with
+    estimated completion times from a duration estimator built on Tango
+    latency curves.
+
+    Args:
+        executor: network executor.
+        estimate: per-request duration estimate in ms.
+        patterns: rewrite patterns for the oracle.
+        max_prefixes: candidate prefix cuts evaluated per tree node.
+        lookahead_depth: how many batch decisions ahead the tree explores
+            before falling back to greedy full batches.
+    """
+
+    def __init__(
+        self,
+        executor: NetworkExecutor,
+        estimate: DurationEstimator,
+        patterns: Optional[Sequence[RewritePattern]] = None,
+        pattern_db: Optional[TangoPatternDatabase] = None,
+        max_prefixes: int = 4,
+        lookahead_depth: int = 2,
+    ) -> None:
+        super().__init__(executor, patterns=patterns, pattern_db=pattern_db)
+        if lookahead_depth < 1:
+            raise ValueError("lookahead_depth must be at least 1")
+        self.estimate = estimate
+        self.max_prefixes = max_prefixes
+        self.lookahead_depth = lookahead_depth
+
+    def _estimate_batch_ms(self, ordered: Sequence[SwitchRequest]) -> float:
+        """Estimated makespan of a batch (per-switch serial, cross parallel)."""
+        per_switch: Dict[str, float] = {}
+        for request in ordered:
+            per_switch[request.location] = per_switch.get(
+                request.location, 0.0
+            ) + self.estimate(request)
+        return max(per_switch.values(), default=0.0)
+
+    def _ready(self, dag: RequestDag, done: frozenset) -> List[SwitchRequest]:
+        """Requests whose dependencies are all in ``done`` (simulation)."""
+        ready = []
+        for request in dag.requests:
+            rid = request.request_id
+            if rid in done:
+                continue
+            if all(p in done for p in dag._graph.predecessors(rid)):
+                ready.append(request)
+        return ready
+
+    def _candidate_cuts(
+        self, dag: RequestDag, ordered: Sequence[SwitchRequest]
+    ) -> List[int]:
+        """Prefix lengths whose completion unlocks new requests."""
+        unlocking = set()
+        for index, request in enumerate(ordered):
+            if any(True for _ in dag._graph.successors(request.request_id)):
+                unlocking.add(index + 1)
+        cuts = sorted(c for c in unlocking if c < len(ordered))
+        return cuts[: self.max_prefixes]
+
+    def _plan(
+        self, dag: RequestDag, done: frozenset, depth: int
+    ) -> Tuple[float, Optional[int]]:
+        """Best estimated remaining cost and the first-batch cut to take.
+
+        Explores prefix cuts recursively while ``depth`` allows; beyond
+        that, batches greedily to completion (estimation only -- nothing
+        is issued).
+        """
+        ready = self._ready(dag, done)
+        if not ready:
+            return 0.0, None
+        _, ordered = self.oracle.choose(ready)
+        full_ids = frozenset(r.request_id for r in ordered)
+
+        if depth <= 0:
+            cost = self._estimate_batch_ms(ordered)
+            rest, _ = self._plan(dag, done | full_ids, 0)
+            return cost + rest, len(ordered)
+
+        best_cost = float("inf")
+        best_cut: Optional[int] = None
+        for cut in self._candidate_cuts(dag, ordered) + [len(ordered)]:
+            prefix = ordered[:cut]
+            prefix_ids = frozenset(r.request_id for r in prefix)
+            rest, _ = self._plan(dag, done | prefix_ids, depth - 1)
+            cost = self._estimate_batch_ms(prefix) + rest
+            if cost < best_cost:
+                best_cost = cost
+                best_cut = cut
+        return best_cost, best_cut
+
+    def schedule(self, dag: RequestDag) -> ScheduleResult:
+        self.executor.reset_epoch()
+        result = ScheduleResult(makespan_ms=0.0)
+        finish_times: Dict[int, float] = {}
+        makespan = self.executor.epoch_ms
+        done_ids: set = set()
+        while not dag.is_done():
+            independent = dag.independent_requests()
+            if not independent:
+                raise RuntimeError("DAG not done but no independent requests")
+            pattern, ordered = self.oracle.choose(independent)
+
+            _, cut = self._plan(dag, frozenset(done_ids), self.lookahead_depth)
+            issue_now = ordered[: cut if cut else len(ordered)]
+
+            result.pattern_choices.append(pattern.name)
+            for request in issue_now:
+                dep_finish = max(
+                    (
+                        finish_times[d.request_id]
+                        for d in dag.dependencies_of(request)
+                    ),
+                    default=self.executor.epoch_ms,
+                )
+                record = self.executor.issue(request, not_before_ms=dep_finish)
+                finish_times[request.request_id] = record.finished_ms
+                result.records.append(record)
+                dag.mark_done(request)
+                done_ids.add(request.request_id)
+                makespan = max(makespan, record.finished_ms)
+            result.rounds += 1
+        result.makespan_ms = makespan - self.executor.epoch_ms
+        result.deadline_misses = _count_deadline_misses(
+            result.records, self.executor.epoch_ms
+        )
+        return result
+
+
+class DeadlineAwareTangoScheduler(BasicTangoScheduler):
+    """Honours ``install_by`` deadlines ahead of pattern order.
+
+    Switch requests may carry a deadline ("install_by: ms or best
+    effort", Section 6).  Within each independent set, requests whose
+    deadlines are at risk -- the estimated completion of the
+    pattern-ordered batch would overshoot them -- are issued first in
+    earliest-deadline order; the remainder keeps the rewrite pattern's
+    cheap ordering.
+    """
+
+    def __init__(
+        self,
+        executor: NetworkExecutor,
+        estimate: DurationEstimator,
+        patterns: Optional[Sequence[RewritePattern]] = None,
+        pattern_db: Optional[TangoPatternDatabase] = None,
+    ) -> None:
+        super().__init__(executor, patterns=patterns, pattern_db=pattern_db)
+        self.estimate = estimate
+
+    def _split_urgent(
+        self, ordered: Sequence[SwitchRequest], now_ms: float
+    ) -> Tuple[List[SwitchRequest], List[SwitchRequest]]:
+        """Requests that would miss their deadline in pattern order."""
+        urgent: List[SwitchRequest] = []
+        relaxed: List[SwitchRequest] = []
+        elapsed: Dict[str, float] = {}
+        for request in ordered:
+            location = request.location
+            elapsed[location] = elapsed.get(location, 0.0) + self.estimate(request)
+            deadline = request.install_by_ms
+            if deadline is not None and now_ms + elapsed[location] > deadline:
+                urgent.append(request)
+            else:
+                relaxed.append(request)
+        urgent.sort(key=lambda r: (r.install_by_ms, r.request_id))
+        return urgent, relaxed
+
+    def schedule(self, dag: RequestDag) -> ScheduleResult:
+        self.executor.reset_epoch()
+        result = ScheduleResult(makespan_ms=0.0)
+        finish_times: Dict[int, float] = {}
+        makespan = self.executor.epoch_ms
+        while not dag.is_done():
+            independent = dag.independent_requests()
+            if not independent:
+                raise RuntimeError("DAG not done but no independent requests")
+            pattern, ordered = self.oracle.choose(independent)
+            result.pattern_choices.append(pattern.name)
+            elapsed_epoch = makespan - self.executor.epoch_ms
+            urgent, relaxed = self._split_urgent(ordered, elapsed_epoch)
+            for request in urgent + relaxed:
+                dep_finish = max(
+                    (
+                        finish_times[d.request_id]
+                        for d in dag.dependencies_of(request)
+                    ),
+                    default=self.executor.epoch_ms,
+                )
+                record = self.executor.issue(request, not_before_ms=dep_finish)
+                finish_times[request.request_id] = record.finished_ms
+                result.records.append(record)
+                dag.mark_done(request)
+                makespan = max(makespan, record.finished_ms)
+            result.rounds += 1
+        result.makespan_ms = makespan - self.executor.epoch_ms
+        result.deadline_misses = _count_deadline_misses(
+            result.records, self.executor.epoch_ms
+        )
+        return result
+
+
+class ConcurrentTangoScheduler(BasicTangoScheduler):
+    """Concurrent dependent dispatch with guard times (weak consistency).
+
+    A request whose dependencies are still in flight may be released
+    early when its estimated finish time exceeds every dependency's
+    estimated finish by at least ``guard_ms``, using Tango latency curves
+    for the estimates.  This removes the batch barrier entirely: requests
+    start as soon as their switch and their (guarded) dependencies allow.
+    """
+
+    def __init__(
+        self,
+        executor: NetworkExecutor,
+        estimate: DurationEstimator,
+        patterns: Optional[Sequence[RewritePattern]] = None,
+        pattern_db: Optional[TangoPatternDatabase] = None,
+        guard_ms: float = 5.0,
+    ) -> None:
+        super().__init__(executor, patterns=patterns, pattern_db=pattern_db)
+        self.estimate = estimate
+        self.guard_ms = guard_ms
+
+    def schedule(self, dag: RequestDag) -> ScheduleResult:
+        self.executor.reset_epoch()
+        result = ScheduleResult(makespan_ms=0.0)
+        finish_times: Dict[int, float] = {}
+        issued: Dict[int, bool] = {}
+        makespan = self.executor.epoch_ms
+
+        while not dag.is_done():
+            independent = dag.independent_requests()
+            pattern, ordered = self.oracle.choose(independent)
+            result.pattern_choices.append(pattern.name)
+            if not ordered:
+                raise RuntimeError("DAG not done but no independent requests")
+            for request in ordered:
+                deps = dag.dependencies_of(request)
+                dep_finish = max(
+                    (finish_times[d.request_id] for d in deps), default=0.0
+                )
+                own_estimate = self.estimate(request)
+                # Weak consistency: start early as long as the estimated
+                # finish trails every dependency's finish by the guard.
+                earliest_start = max(
+                    self.executor.switch_available_at(request.location),
+                    dep_finish + self.guard_ms - own_estimate,
+                )
+                record = self.executor.issue(request, not_before_ms=earliest_start)
+                finish_times[request.request_id] = record.finished_ms
+                result.records.append(record)
+                dag.mark_done(request)
+                makespan = max(makespan, record.finished_ms)
+            result.rounds += 1
+        result.makespan_ms = makespan - self.executor.epoch_ms
+        result.deadline_misses = _count_deadline_misses(
+            result.records, self.executor.epoch_ms
+        )
+        return result

@@ -1,0 +1,62 @@
+"""The Tango score database.
+
+Measurement results from applying Tango patterns are stored centrally so
+that every component (inference engine, schedulers, applications) can
+share them (Section 4).  Scores are keyed by (switch, metric, parameters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class ScoreKey:
+    """Identifies one measurement series."""
+
+    switch: str
+    metric: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def make(cls, switch: str, metric: str, **params: Any) -> "ScoreKey":
+        return cls(switch=switch, metric=metric, params=tuple(sorted(params.items())))
+
+
+@dataclass
+class ScoreRecord:
+    """One stored measurement (a scalar, curve, or structured result)."""
+
+    key: ScoreKey
+    value: Any
+    recorded_at_ms: float = 0.0
+
+
+class TangoScoreDatabase:
+    """Central store of probing results (TangoDB's score half)."""
+
+    def __init__(self) -> None:
+        self._records: Dict[ScoreKey, ScoreRecord] = {}
+
+    def put(self, switch: str, metric: str, value: Any, recorded_at_ms: float = 0.0, **params: Any) -> ScoreKey:
+        key = ScoreKey.make(switch, metric, **params)
+        self._records[key] = ScoreRecord(key=key, value=value, recorded_at_ms=recorded_at_ms)
+        return key
+
+    def get(self, switch: str, metric: str, default: Any = None, **params: Any) -> Any:
+        key = ScoreKey.make(switch, metric, **params)
+        record = self._records.get(key)
+        return record.value if record is not None else default
+
+    def has(self, switch: str, metric: str, **params: Any) -> bool:
+        return ScoreKey.make(switch, metric, **params) in self._records
+
+    def records_for_switch(self, switch: str) -> List[ScoreRecord]:
+        return [r for k, r in self._records.items() if k.switch == switch]
+
+    def metrics_for_switch(self, switch: str) -> List[str]:
+        return sorted({k.metric for k in self._records if k.switch == switch})
+
+    def __len__(self) -> int:
+        return len(self._records)

@@ -1,0 +1,48 @@
+"""Network emulation substrate (the paper's Mininet + hardware testbed).
+
+Provides topologies (including Google's B4 backbone), an emulated
+network binding simulated switches to topology nodes, end-to-end flows
+routed over paths, and scenario generators that turn network events
+(link failure, traffic-matrix changes) into switch-request DAGs with
+consistent-update ordering.
+"""
+
+from repro.netem.topology import Topology, b4_topology, triangle_topology
+from repro.netem.flows import NetworkFlow
+from repro.netem.network import EmulatedNetwork
+from repro.netem.consistency import add_reverse_path_dependencies
+from repro.netem.scenarios import (
+    LinkFailureScenario,
+    TrafficEngineeringScenario,
+    ScenarioResultDag,
+)
+from repro.netem.temaxmin import max_min_fair_allocation
+from repro.netem.tracing import TraceOutcome, TraceResult, trace_packet
+from repro.netem.audit import (
+    AuditProbe,
+    AuditReport,
+    AuditingExecutor,
+    ConsistencyViolation,
+    probes_for_flows,
+)
+
+__all__ = [
+    "Topology",
+    "b4_topology",
+    "triangle_topology",
+    "NetworkFlow",
+    "EmulatedNetwork",
+    "add_reverse_path_dependencies",
+    "LinkFailureScenario",
+    "TrafficEngineeringScenario",
+    "ScenarioResultDag",
+    "max_min_fair_allocation",
+    "TraceOutcome",
+    "TraceResult",
+    "trace_packet",
+    "AuditProbe",
+    "AuditReport",
+    "AuditingExecutor",
+    "ConsistencyViolation",
+    "probes_for_flows",
+]

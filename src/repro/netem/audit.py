@@ -1,0 +1,133 @@
+"""Transient-consistency auditing of rule-update schedules.
+
+Per-packet consistency [Reitblatt et al.] demands that every packet is
+processed entirely by the old configuration or entirely by the new one.
+The network-wide experiments enforce it by installing a flow's rules
+from the egress back to the ingress: until the ingress is repointed, the
+old behaviour holds; the instant it is, the whole downstream path
+already exists.
+
+:class:`AuditingExecutor` verifies the property empirically: it wraps
+the normal executor, and after every issued request traces a set of
+audit packets through the live rule state.  A *violation* is a packet
+the ingress forwards into the network that then fails to reach its
+destination -- a transient black hole that a correctly ordered schedule
+never exhibits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.core.requests import SwitchRequest
+from repro.core.scheduler import IssueRecord, NetworkExecutor
+from repro.netem.network import EmulatedNetwork
+from repro.netem.tracing import TraceOutcome, trace_packet
+from repro.openflow.match import PacketFields
+
+
+@dataclass(frozen=True)
+class AuditProbe:
+    """One packet whose delivery is checked after every request."""
+
+    packet: PacketFields
+    ingress: str
+    expected_egress: str
+
+
+@dataclass(frozen=True)
+class ConsistencyViolation:
+    """A probe that was forwarded but not delivered."""
+
+    probe: AuditProbe
+    after_request_id: int
+    outcome: TraceOutcome
+    reached: Tuple[str, ...]
+
+
+@dataclass
+class AuditReport:
+    """All violations observed during one schedule."""
+
+    violations: List[ConsistencyViolation] = field(default_factory=list)
+    probes_traced: int = 0
+
+    @property
+    def consistent(self) -> bool:
+        return not self.violations
+
+
+class AuditingExecutor(NetworkExecutor):
+    """A network executor that traces audit packets after every request.
+
+    Args:
+        network: the emulated network whose switches execute requests.
+        probes: packets to re-trace after each issued request.
+
+    A trace that is punted *at the ingress* is consistent (the old
+    configuration simply handles the packet via the controller); a trace
+    that leaves the ingress and then dies mid-path is a violation.
+    """
+
+    def __init__(
+        self, network: EmulatedNetwork, probes: Sequence[AuditProbe]
+    ) -> None:
+        super().__init__(network.channels)
+        self.network = network
+        self.probes = list(probes)
+        self.report = AuditReport()
+
+    def _check_probe(self, probe: AuditProbe, request_id: int) -> None:
+        trace = trace_packet(self.network, probe.packet, probe.ingress)
+        self.report.probes_traced += 1
+        if trace.outcome is TraceOutcome.DELIVERED:
+            if trace.delivered_at == probe.expected_egress:
+                return
+            # Delivered somewhere unexpected: a misrouting violation.
+            self.report.violations.append(
+                ConsistencyViolation(
+                    probe=probe,
+                    after_request_id=request_id,
+                    outcome=trace.outcome,
+                    reached=tuple(trace.path),
+                )
+            )
+            return
+        forwarded_from_ingress = len(trace.hops) > 1 or (
+            len(trace.hops) == 1 and trace.hops[0].output_port is not None
+        )
+        if trace.outcome is TraceOutcome.PUNTED and not forwarded_from_ingress:
+            return  # old configuration: the controller handles it
+        self.report.violations.append(
+            ConsistencyViolation(
+                probe=probe,
+                after_request_id=request_id,
+                outcome=trace.outcome,
+                reached=tuple(trace.path),
+            )
+        )
+
+    def issue(self, request: SwitchRequest, not_before_ms: float = 0.0) -> IssueRecord:
+        record = super().issue(request, not_before_ms=not_before_ms)
+        for probe in self.probes:
+            self._check_probe(probe, request.request_id)
+        return record
+
+
+def probes_for_flows(network: EmulatedNetwork, flows) -> List[AuditProbe]:
+    """Audit probes covering each flow's (ingress, egress) pair."""
+    probes = []
+    for flow in flows:
+        match = flow.match()
+        probes.append(
+            AuditProbe(
+                packet=PacketFields(
+                    eth_type=0x0800,
+                    ip_dst=match.ip_dst.value if match.ip_dst else 0,
+                ),
+                ingress=flow.src,
+                expected_egress=flow.dst,
+            )
+        )
+    return probes

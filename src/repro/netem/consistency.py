@@ -1,0 +1,40 @@
+"""Consistent-update ordering.
+
+The paper's network-wide experiments "ensure that the flow updates are
+conducted in reverse order across the source-destination paths to ensure
+update consistency" [Reitblatt et al.]: a flow's rule at the egress
+switch is installed first and the ingress switch last, so no packet is
+ever forwarded onto a hop that cannot yet handle it.  Removals drain in
+the forward direction (ingress first).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.requests import RequestDag, SwitchRequest
+
+
+def add_reverse_path_dependencies(
+    dag: RequestDag, path_requests: Sequence[SwitchRequest]
+) -> None:
+    """Chain install requests from egress back to ingress.
+
+    Args:
+        dag: the DAG the requests belong to.
+        path_requests: requests ordered from *ingress to egress*; the
+            resulting dependencies force egress-first completion.
+    """
+    ordered = list(path_requests)
+    for upstream, downstream in zip(ordered, ordered[1:]):
+        # The downstream (closer to egress) request must finish first.
+        dag.add_dependency(downstream, upstream)
+
+
+def add_forward_path_dependencies(
+    dag: RequestDag, path_requests: Sequence[SwitchRequest]
+) -> None:
+    """Chain removal requests from ingress towards egress (drain order)."""
+    ordered = list(path_requests)
+    for upstream, downstream in zip(ordered, ordered[1:]):
+        dag.add_dependency(upstream, downstream)

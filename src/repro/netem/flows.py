@@ -1,0 +1,43 @@
+"""End-to-end network flows."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.openflow.match import IpPrefix, Match
+
+
+@dataclass
+class NetworkFlow:
+    """One end-to-end flow pinned to a path.
+
+    Args:
+        flow_id: unique id (also determines the flow's match).
+        src: ingress switch name.
+        dst: egress switch name.
+        path: switch names from src to dst inclusive.
+        demand: traffic demand (Gbps).
+        priority: OpenFlow priority for the flow's rules.
+    """
+
+    flow_id: int
+    src: str
+    dst: str
+    path: List[str]
+    demand: float = 1.0
+    priority: int = 100
+
+    def __post_init__(self) -> None:
+        if len(self.path) < 1:
+            raise ValueError("path must contain at least one switch")
+        if self.path[0] != self.src or self.path[-1] != self.dst:
+            raise ValueError("path endpoints must match src/dst")
+
+    def match(self) -> Match:
+        """The rule match identifying this flow (unique /32 destination)."""
+        return Match(eth_type=0x0800, ip_dst=IpPrefix(0x0B00_0000 + self.flow_id, 32))
+
+    def links(self) -> List[Tuple[str, str]]:
+        """The (undirected) links the path traverses."""
+        return [tuple(sorted((a, b))) for a, b in zip(self.path, self.path[1:])]

@@ -1,0 +1,80 @@
+"""Max-min fair bandwidth allocation (the B4 TE algorithm's core).
+
+Google's B4 allocates bandwidth to flow groups with progressive filling:
+all demands grow at the same rate until a link saturates; flows crossing
+a saturated link are frozen at their current allocation; the rest keep
+growing.  The paper's Figure 12 scenario drives rule updates from the
+allocation changes a traffic-matrix shift produces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.netem.flows import NetworkFlow
+from repro.netem.topology import Topology
+
+
+def max_min_fair_allocation(
+    topology: Topology,
+    flows: Sequence[NetworkFlow],
+    epsilon: float = 1e-9,
+) -> Dict[int, float]:
+    """Water-filling max-min fair rates for path-pinned flows.
+
+    Args:
+        topology: provides link capacities.
+        flows: flows with fixed paths and (maximum) demands.
+
+    Returns:
+        Mapping of flow id to allocated rate; each flow receives at most
+        its demand, and no flow can increase without decreasing a flow
+        with an equal-or-smaller allocation.
+    """
+    remaining: Dict[Tuple[str, str], float] = {
+        tuple(sorted(link)): topology.capacity(*link) for link in topology.links
+    }
+    link_flows: Dict[Tuple[str, str], List[NetworkFlow]] = {
+        link: [] for link in remaining
+    }
+    for flow in flows:
+        for link in flow.links():
+            if link not in remaining:
+                raise ValueError(f"flow {flow.flow_id} uses unknown link {link}")
+            link_flows[link].append(flow)
+
+    allocation: Dict[int, float] = {flow.flow_id: 0.0 for flow in flows}
+    active = {flow.flow_id: flow for flow in flows}
+
+    while active:
+        # The next event: a flow hitting its demand, or a link saturating.
+        increments = []
+        for link, capacity_left in remaining.items():
+            users = [f for f in link_flows[link] if f.flow_id in active]
+            if users:
+                increments.append(capacity_left / len(users))
+        demand_gaps = [
+            flow.demand - allocation[fid] for fid, flow in active.items()
+        ]
+        step = min(increments + demand_gaps) if increments else min(demand_gaps)
+        if step < 0:
+            step = 0.0
+
+        for fid in list(active):
+            allocation[fid] += step
+        for link in remaining:
+            users = [f for f in link_flows[link] if f.flow_id in active]
+            remaining[link] -= step * len(users)
+
+        # Freeze satisfied flows and flows on saturated links.
+        for fid, flow in list(active.items()):
+            if allocation[fid] >= flow.demand - epsilon:
+                del active[fid]
+        for link, capacity_left in remaining.items():
+            if capacity_left <= epsilon:
+                for flow in link_flows[link]:
+                    active.pop(flow.flow_id, None)
+        if step <= epsilon and active:
+            # No progress possible (all remaining flows blocked).
+            break
+    return allocation

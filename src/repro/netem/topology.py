@@ -1,0 +1,125 @@
+"""Network topologies.
+
+Includes the three-switch triangle of the paper's hardware testbed
+(Section 7.2) and Google's B4 inter-datacenter backbone topology [B4,
+SIGCOMM'13] used for the Mininet evaluation (Figure 12).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import networkx as nx
+
+
+class Topology:
+    """An undirected switch topology with link capacities.
+
+    Args:
+        name: topology label.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.graph = nx.Graph()
+
+    def add_switch(self, switch_name: str) -> None:
+        self.graph.add_node(switch_name)
+
+    def add_link(
+        self, a: str, b: str, capacity: float = 10.0, latency_ms: float = 0.05
+    ) -> None:
+        """Add a bidirectional link with capacity (Gbps) and propagation
+        latency (ms)."""
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if latency_ms < 0:
+            raise ValueError("latency_ms must be non-negative")
+        self.graph.add_edge(a, b, capacity=capacity, latency_ms=latency_ms)
+
+    def remove_link(self, a: str, b: str) -> None:
+        self.graph.remove_edge(a, b)
+
+    @property
+    def switches(self) -> List[str]:
+        return list(self.graph.nodes)
+
+    @property
+    def links(self) -> List[Tuple[str, str]]:
+        return list(self.graph.edges)
+
+    def capacity(self, a: str, b: str) -> float:
+        return self.graph.edges[a, b]["capacity"]
+
+    def link_latency_ms(self, a: str, b: str) -> float:
+        return self.graph.edges[a, b].get("latency_ms", 0.0)
+
+    def shortest_path(self, src: str, dst: str) -> List[str]:
+        """Hop-count shortest path (deterministic tie-break by node name)."""
+        paths = nx.all_shortest_paths(self.graph, src, dst)
+        return min(paths)
+
+    def k_shortest_paths(self, src: str, dst: str, k: int = 3) -> List[List[str]]:
+        """Up to ``k`` loop-free shortest paths, shortest first."""
+        generator = nx.shortest_simple_paths(self.graph, src, dst)
+        paths = []
+        for path in generator:
+            paths.append(path)
+            if len(paths) >= k:
+                break
+        return paths
+
+    def copy(self) -> "Topology":
+        clone = Topology(self.name)
+        clone.graph = self.graph.copy()
+        return clone
+
+
+def triangle_topology(names: Tuple[str, str, str] = ("s1", "s2", "s3")) -> Topology:
+    """The paper's three-switch full-mesh hardware testbed."""
+    topology = Topology("triangle")
+    for name in names:
+        topology.add_switch(name)
+    topology.add_link(names[0], names[1])
+    topology.add_link(names[1], names[2])
+    topology.add_link(names[0], names[2])
+    return topology
+
+
+#: The 12 sites and 19 links of Google's B4 backbone (SIGCOMM'13, Fig. 1).
+_B4_LINKS: Tuple[Tuple[int, int], ...] = (
+    (1, 2),
+    (1, 3),
+    (2, 3),
+    (3, 4),
+    (4, 5),
+    (4, 6),
+    (5, 6),
+    (5, 7),
+    (6, 8),
+    (7, 8),
+    (7, 9),
+    (8, 10),
+    (9, 10),
+    (9, 11),
+    (10, 12),
+    (11, 12),
+    (2, 5),
+    (3, 6),
+    (6, 9),
+)
+
+
+def b4_topology(capacity: float = 10.0, link_latency_ms: float = 10.0) -> Topology:
+    """Google's B4 inter-datacenter WAN topology (12 nodes, 19 links).
+
+    Inter-datacenter links default to a WAN-scale 10 ms propagation delay.
+    """
+    topology = Topology("b4")
+    for index in range(1, 13):
+        topology.add_switch(f"b4-{index:02d}")
+    for a, b in _B4_LINKS:
+        topology.add_link(
+            f"b4-{a:02d}", f"b4-{b:02d}", capacity=capacity, latency_ms=link_latency_ms
+        )
+    return topology

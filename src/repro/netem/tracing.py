@@ -1,0 +1,129 @@
+"""End-to-end packet tracing across the emulated network.
+
+Walks a packet from an ingress switch, applying each switch's installed
+rules and following output ports across links, until the packet is
+delivered locally, punted to the controller, dropped, or caught looping.
+Used by the consistency auditor to check that rule-update schedules
+never create transient black holes (Section 7.2's reverse-path update
+ordering exists exactly to prevent them).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.netem.network import EmulatedNetwork
+from repro.openflow.actions import DropAction, OutputAction
+from repro.openflow.match import PacketFields
+
+
+class TraceOutcome(enum.Enum):
+    DELIVERED = "delivered"  # reached a switch that output to LOCAL_PORT
+    PUNTED = "punted"  # sent to the controller (miss or explicit)
+    DROPPED = "dropped"  # matched a drop rule
+    DEAD_PORT = "dead-port"  # output port maps to no link
+    LOOP = "loop"  # exceeded the hop budget
+
+
+@dataclass(frozen=True)
+class TraceHop:
+    """One switch traversal.
+
+    ``delay_ms`` is the switch's forwarding delay; ``link_ms`` is the
+    propagation delay of the outgoing link (zero at delivery/punt).
+    """
+
+    switch: str
+    delay_ms: float
+    output_port: Optional[int]
+    link_ms: float = 0.0
+
+
+@dataclass
+class TraceResult:
+    """Full journey of one traced packet."""
+
+    outcome: TraceOutcome
+    hops: List[TraceHop] = field(default_factory=list)
+
+    @property
+    def total_delay_ms(self) -> float:
+        return sum(hop.delay_ms + hop.link_ms for hop in self.hops)
+
+    @property
+    def path(self) -> List[str]:
+        return [hop.switch for hop in self.hops]
+
+    @property
+    def delivered_at(self) -> Optional[str]:
+        if self.outcome is TraceOutcome.DELIVERED and self.hops:
+            return self.hops[-1].switch
+        return None
+
+
+def trace_packet(
+    network: EmulatedNetwork,
+    packet: PacketFields,
+    ingress: str,
+    max_hops: int = 32,
+) -> TraceResult:
+    """Trace ``packet`` from ``ingress`` through installed rules.
+
+    Note: tracing exercises the real data path, so it updates rule use
+    times and traffic counters like any other packets would.
+    """
+    if ingress not in network.switches:
+        raise KeyError(f"unknown ingress switch {ingress!r}")
+    result = TraceResult(outcome=TraceOutcome.LOOP)
+    current = ingress
+    for _ in range(max_hops):
+        switch = network.switches[current]
+        forwarding = switch.forward_packet_detailed(packet)
+        if not forwarding.matched or forwarding.punted:
+            result.hops.append(
+                TraceHop(switch=current, delay_ms=forwarding.delay_ms, output_port=None)
+            )
+            result.outcome = TraceOutcome.PUNTED
+            return result
+        output = next(
+            (a for a in forwarding.actions if isinstance(a, OutputAction)), None
+        )
+        if output is None or any(
+            isinstance(a, DropAction) for a in forwarding.actions
+        ):
+            result.hops.append(
+                TraceHop(switch=current, delay_ms=forwarding.delay_ms, output_port=None)
+            )
+            result.outcome = TraceOutcome.DROPPED
+            return result
+        if output.port == network.LOCAL_PORT:
+            result.hops.append(
+                TraceHop(
+                    switch=current,
+                    delay_ms=forwarding.delay_ms,
+                    output_port=output.port,
+                )
+            )
+            result.outcome = TraceOutcome.DELIVERED
+            return result
+        neighbor = network.neighbor_on_port(current, output.port)
+        link_ms = (
+            network.topology.link_latency_ms(current, neighbor)
+            if neighbor is not None
+            else 0.0
+        )
+        result.hops.append(
+            TraceHop(
+                switch=current,
+                delay_ms=forwarding.delay_ms,
+                output_port=output.port,
+                link_ms=link_ms,
+            )
+        )
+        if neighbor is None:
+            result.outcome = TraceOutcome.DEAD_PORT
+            return result
+        current = neighbor
+    return result

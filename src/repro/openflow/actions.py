@@ -1,0 +1,50 @@
+"""Flow actions.
+
+Only the actions needed by the paper's experiments are modelled: forward
+to a port, drop, and punt to the controller.
+"""
+
+from __future__ import annotations
+
+from abc import ABC
+from dataclasses import dataclass
+
+
+class Action(ABC):
+    """Base class for flow-entry actions."""
+
+
+@dataclass(frozen=True)
+class OutputAction(Action):
+    """Forward matching packets to ``port``."""
+
+    port: int
+
+    def __post_init__(self) -> None:
+        if self.port < 0:
+            raise ValueError(f"port must be non-negative, got {self.port}")
+
+
+@dataclass(frozen=True)
+class DropAction(Action):
+    """Discard matching packets."""
+
+
+@dataclass(frozen=True)
+class ControllerAction(Action):
+    """Punt matching packets to the controller."""
+
+
+@dataclass(frozen=True)
+class GotoTableAction(Action):
+    """Continue matching in a later pipeline table (OpenFlow 1.1+).
+
+    The target must be a *later* table; OpenFlow forbids backwards jumps,
+    which keeps pipeline traversal loop-free.
+    """
+
+    table_id: int
+
+    def __post_init__(self) -> None:
+        if self.table_id < 0:
+            raise ValueError(f"table_id must be non-negative, got {self.table_id}")

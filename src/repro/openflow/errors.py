@@ -1,0 +1,28 @@
+"""OpenFlow error conditions surfaced by the simulated switches.
+
+``TableFullError`` is load-bearing: Algorithm 1 in the paper keeps
+inserting flows "until the OpenFlow API rejects the call", using the
+rejection as the signal that the total flow-table capacity was reached.
+"""
+
+from __future__ import annotations
+
+
+class OpenFlowError(Exception):
+    """Base class for all simulated OpenFlow protocol errors."""
+
+
+class TableFullError(OpenFlowError):
+    """Raised when a flow_mod ADD cannot fit in any flow table."""
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(f"flow tables full (capacity {capacity})")
+        self.capacity = capacity
+
+
+class BadMatchError(OpenFlowError):
+    """Raised when a switch cannot support the requested match fields."""
+
+
+class FlowNotFoundError(OpenFlowError):
+    """Raised when MODIFY/DELETE_STRICT refers to a non-existent flow."""

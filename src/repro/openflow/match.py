@@ -1,0 +1,234 @@
+"""Flow match conditions.
+
+The paper's Table 1 distinguishes L2-only, L3-only, and combined L2+L3
+matches because TCAM capacity depends on the match width (single- vs
+double-wide mode).  A :class:`Match` carries optional L2 fields (MAC
+addresses, EtherType) and L3 fields (IPv4 prefixes, protocol); its
+:attr:`kind` classifies it into the width classes the TCAM model uses.
+
+Matches also support overlap and subsumption tests, which the ClassBench
+workload generator uses to build rule dependency DAGs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+class MatchKind(enum.Enum):
+    """Width class of a match, as seen by the TCAM."""
+
+    L2 = "l2"
+    L3 = "l3"
+    L2_L3 = "l2+l3"
+
+
+@dataclass(frozen=True)
+class IpPrefix:
+    """An IPv4 prefix, value/length."""
+
+    value: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= 32:
+            raise ValueError(f"prefix length must be in [0, 32], got {self.length}")
+        if not 0 <= self.value < 2**32:
+            raise ValueError("prefix value out of IPv4 range")
+        mask = self.mask
+        if self.value & ~mask & 0xFFFFFFFF:
+            raise ValueError("prefix has host bits set beyond its length")
+
+    @property
+    def mask(self) -> int:
+        if self.length == 0:
+            return 0
+        return (0xFFFFFFFF << (32 - self.length)) & 0xFFFFFFFF
+
+    def contains_address(self, address: int) -> bool:
+        return (address & self.mask) == self.value
+
+    def covers(self, other: "IpPrefix") -> bool:
+        """True if every address in ``other`` is inside this prefix."""
+        return self.length <= other.length and other.value & self.mask == self.value
+
+    def overlaps(self, other: "IpPrefix") -> bool:
+        """True if the two prefixes share at least one address."""
+        return self.covers(other) or other.covers(self)
+
+    def __str__(self) -> str:
+        octets = [(self.value >> shift) & 0xFF for shift in (24, 16, 8, 0)]
+        return f"{'.'.join(str(o) for o in octets)}/{self.length}"
+
+
+def _field_overlaps(a, b) -> bool:
+    """Exact-match fields overlap when either is a wildcard or both equal."""
+    return a is None or b is None or a == b
+
+
+def _field_covers(a, b) -> bool:
+    """Field ``a`` covers ``b`` when ``a`` is a wildcard or both equal."""
+    return a is None or a == b
+
+
+@dataclass(frozen=True)
+class Match:
+    """An OpenFlow match over L2 and/or L3 header fields.
+
+    ``None`` means wildcard.  At least one field must be set.
+    """
+
+    eth_src: Optional[int] = None
+    eth_dst: Optional[int] = None
+    eth_type: Optional[int] = None
+    ip_src: Optional[IpPrefix] = None
+    ip_dst: Optional[IpPrefix] = None
+    ip_proto: Optional[int] = None
+    tp_src: Optional[int] = None
+    tp_dst: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if all(
+            getattr(self, name) is None
+            for name in (
+                "eth_src",
+                "eth_dst",
+                "eth_type",
+                "ip_src",
+                "ip_dst",
+                "ip_proto",
+                "tp_src",
+                "tp_dst",
+            )
+        ):
+            raise ValueError("a Match must constrain at least one field")
+
+    # -- classification -----------------------------------------------------
+    @property
+    def has_l2(self) -> bool:
+        """True when the match constrains MAC addresses.
+
+        ``eth_type`` is deliberately excluded: every L3 rule carries an
+        EtherType qualifier, yet the paper's Table 1 counts such rules as
+        single-wide L3 entries.
+        """
+        return any(f is not None for f in (self.eth_src, self.eth_dst))
+
+    @property
+    def has_l3(self) -> bool:
+        return any(
+            f is not None
+            for f in (self.ip_src, self.ip_dst, self.ip_proto, self.tp_src, self.tp_dst)
+        )
+
+    @property
+    def kind(self) -> MatchKind:
+        if self.has_l2 and self.has_l3:
+            return MatchKind.L2_L3
+        if self.has_l3:
+            return MatchKind.L3
+        return MatchKind.L2
+
+    # -- packet matching ----------------------------------------------------
+    def matches_packet(self, packet: "PacketFields") -> bool:
+        """True if ``packet`` satisfies every constrained field."""
+        if self.eth_src is not None and packet.eth_src != self.eth_src:
+            return False
+        if self.eth_dst is not None and packet.eth_dst != self.eth_dst:
+            return False
+        if self.eth_type is not None and packet.eth_type != self.eth_type:
+            return False
+        if self.ip_src is not None and not self.ip_src.contains_address(packet.ip_src):
+            return False
+        if self.ip_dst is not None and not self.ip_dst.contains_address(packet.ip_dst):
+            return False
+        if self.ip_proto is not None and packet.ip_proto != self.ip_proto:
+            return False
+        if self.tp_src is not None and packet.tp_src != self.tp_src:
+            return False
+        if self.tp_dst is not None and packet.tp_dst != self.tp_dst:
+            return False
+        return True
+
+    # -- relations between matches -------------------------------------------
+    def overlaps(self, other: "Match") -> bool:
+        """True if some packet could match both rules.
+
+        Overlap between rules of different priority is what forces barrier
+        priorities in the scheduler's dependency DAGs.
+        """
+        exact_pairs = (
+            (self.eth_src, other.eth_src),
+            (self.eth_dst, other.eth_dst),
+            (self.eth_type, other.eth_type),
+            (self.ip_proto, other.ip_proto),
+            (self.tp_src, other.tp_src),
+            (self.tp_dst, other.tp_dst),
+        )
+        if not all(_field_overlaps(a, b) for a, b in exact_pairs):
+            return False
+        for mine, theirs in ((self.ip_src, other.ip_src), (self.ip_dst, other.ip_dst)):
+            if mine is not None and theirs is not None and not mine.overlaps(theirs):
+                return False
+        return True
+
+    def covers(self, other: "Match") -> bool:
+        """True if every packet matching ``other`` also matches this rule."""
+        exact_pairs = (
+            (self.eth_src, other.eth_src),
+            (self.eth_dst, other.eth_dst),
+            (self.eth_type, other.eth_type),
+            (self.ip_proto, other.ip_proto),
+            (self.tp_src, other.tp_src),
+            (self.tp_dst, other.tp_dst),
+        )
+        if not all(_field_covers(a, b) for a, b in exact_pairs):
+            return False
+        for mine, theirs in ((self.ip_src, other.ip_src), (self.ip_dst, other.ip_dst)):
+            if mine is None:
+                continue
+            if theirs is None or not mine.covers(theirs):
+                return False
+        return True
+
+    def key(self) -> Tuple:
+        """A hashable identity for exact-duplicate detection."""
+        return (
+            self.eth_src,
+            self.eth_dst,
+            self.eth_type,
+            self.ip_src,
+            self.ip_dst,
+            self.ip_proto,
+            self.tp_src,
+            self.tp_dst,
+        )
+
+
+@dataclass(frozen=True)
+class PacketFields:
+    """Concrete header values of a data-plane packet."""
+
+    eth_src: int = 0
+    eth_dst: int = 0
+    eth_type: int = 0x0800
+    ip_src: int = 0
+    ip_dst: int = 0
+    ip_proto: int = 6
+    tp_src: int = 0
+    tp_dst: int = 0
+
+    def exact_match(self) -> Match:
+        """The exact-match rule for this packet (OVS kernel microflow)."""
+        return Match(
+            eth_src=self.eth_src,
+            eth_dst=self.eth_dst,
+            eth_type=self.eth_type,
+            ip_src=IpPrefix(self.ip_src, 32),
+            ip_dst=IpPrefix(self.ip_dst, 32),
+            ip_proto=self.ip_proto,
+            tp_src=self.tp_src,
+            tp_dst=self.tp_dst,
+        )

@@ -1,0 +1,49 @@
+"""Simulated OpenFlow switches.
+
+Each simulated switch combines:
+
+* a :class:`~repro.tables.stack.RankedTableStack` (the multi-level cache
+  of Section 5.1),
+* a control-plane cost model reproducing the diverse rule-install
+  latencies of Section 3 (add vs. modify, priority-order sensitivity),
+* per-layer data-path latency models (fast / slow / control path tiers).
+
+Vendor profiles (:mod:`repro.switches.profiles`) configure these to match
+the three proprietary hardware switches and Open vSwitch measured in the
+paper.
+"""
+
+from repro.switches.base import (
+    ControlCostModel,
+    ForwardingResult,
+    SimulatedSwitch,
+    SwitchStats,
+)
+from repro.switches.ovs import OvsSwitch
+from repro.switches.pipeline import PipelineSwitch, PipelineTableSpec
+from repro.switches.profiles import (
+    SwitchProfile,
+    OVS_PROFILE,
+    SWITCH_1,
+    SWITCH_2,
+    SWITCH_3,
+    VENDOR_PROFILES,
+    make_cache_test_profile,
+)
+
+__all__ = [
+    "SimulatedSwitch",
+    "SwitchStats",
+    "ControlCostModel",
+    "ForwardingResult",
+    "OvsSwitch",
+    "PipelineSwitch",
+    "PipelineTableSpec",
+    "SwitchProfile",
+    "OVS_PROFILE",
+    "SWITCH_1",
+    "SWITCH_2",
+    "SWITCH_3",
+    "VENDOR_PROFILES",
+    "make_cache_test_profile",
+]

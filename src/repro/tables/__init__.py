@@ -1,0 +1,49 @@
+"""Flow-table models.
+
+The paper (Section 5.1) views a switch's flow tables as a multi-level
+cache over the full rule set: TCAM is the fastest level, kernel/userspace
+software tables are slower levels, and rules outside all tables miss to
+the controller.  The cache-managing policy is formalised as a
+lexicographic ordering over per-flow attributes (ATTRIB / MONOTONE / LEX).
+
+This package implements that model:
+
+* :class:`FlowEntry` -- a rule plus its dynamic attributes.
+* :class:`CachePolicy` -- a lexicographic ordering (permutation of
+  attributes, each with a monotone direction).
+* :class:`TcamGeometry` -- capacity rules (single/double-wide/adaptive
+  modes) and the entry-shift cost model that makes rule-install latency
+  depend on priority order.
+* :class:`RankedTableStack` -- the multi-level cache itself.
+"""
+
+from repro.tables.entry import FlowAttribute, FlowEntry
+from repro.tables.policies import (
+    CachePolicy,
+    Direction,
+    FIFO,
+    LIFO,
+    LFU,
+    LRU,
+    PRIORITY_CACHE,
+    STANDARD_POLICIES,
+)
+from repro.tables.stack import RankedTableStack, TableLayer
+from repro.tables.tcam import TcamGeometry, TcamMode
+
+__all__ = [
+    "FlowEntry",
+    "FlowAttribute",
+    "CachePolicy",
+    "Direction",
+    "FIFO",
+    "LIFO",
+    "LRU",
+    "LFU",
+    "PRIORITY_CACHE",
+    "STANDARD_POLICIES",
+    "TableLayer",
+    "RankedTableStack",
+    "TcamGeometry",
+    "TcamMode",
+]

@@ -1,0 +1,342 @@
+"""The multi-level flow-table stack.
+
+Section 5.1 of the paper models a switch's flow tables as a multilevel
+cache over the installed rule set: the cache policy induces a total order
+over all rules, the top ``n_1`` live in the fastest layer (TCAM), the
+next ``n_2`` in the next layer (kernel table), and so on.  A rule's layer
+determines its forwarding latency tier, which is everything the Tango
+probing patterns observe.
+
+:class:`RankedTableStack` implements exactly this model.  Rules are kept
+in a list sorted by their policy score; a rule's layer follows from its
+rank and the layers' capacities.  Probing a rule updates its use time and
+traffic count, which can move it in the ranking -- this is why the
+paper's probe patterns are carefully constructed not to disturb relative
+order.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.openflow.actions import Action
+from repro.openflow.errors import TableFullError
+from repro.openflow.match import Match, MatchKind, PacketFields
+from repro.tables.entry import FlowEntry
+from repro.tables.policies import CachePolicy
+from repro.tables.tcam import TcamGeometry
+
+
+@dataclass(frozen=True)
+class TableLayer:
+    """One level of the table hierarchy.
+
+    Args:
+        name: e.g. ``"tcam"``, ``"kernel"``, ``"userspace"``.
+        capacity: entry capacity; ``None`` means unbounded (software).
+        geometry: optional TCAM geometry; when set, capacity is expressed
+            in slot units and depends on each entry's match kind.
+    """
+
+    name: str
+    capacity: Optional[int] = None
+    geometry: Optional[TcamGeometry] = None
+
+    def __post_init__(self) -> None:
+        if self.capacity is not None and self.capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        if self.capacity is not None and self.geometry is not None:
+            raise ValueError("give either capacity or geometry, not both")
+
+
+class RankedTableStack:
+    """Rules ranked by cache policy, spread across table layers.
+
+    Args:
+        layers: fastest-first table layers; at most the last may be
+            unbounded.
+        policy: the cache-retention policy (LEX ordering).
+        hard_limit: safety cap on total rules even with unbounded layers.
+    """
+
+    def __init__(
+        self,
+        layers: List[TableLayer],
+        policy: CachePolicy,
+        hard_limit: int = 200_000,
+    ) -> None:
+        if not layers:
+            raise ValueError("need at least one table layer")
+        for layer in layers[:-1]:
+            if layer.capacity is None and layer.geometry is None:
+                raise ValueError("only the last layer may be unbounded")
+        self.layers = list(layers)
+        self.policy = policy
+        self.hard_limit = hard_limit
+
+        self._entries: Dict[int, FlowEntry] = {}
+        self._by_key: Dict[Tuple, List[int]] = {}
+        self._by_ip_dst: Dict[int, List[int]] = {}
+        self._by_eth_dst: Dict[int, List[int]] = {}
+        self._wildcards: List[int] = []
+        # Sorted ascending by score; the best-ranked entry is last.
+        self._ranked: List[Tuple[Tuple, int]] = []
+        self._next_id = 0
+        self._boundaries_dirty = True
+        self._boundaries: List[int] = []
+        # Counts of installed entries per match kind; when every resident
+        # kind costs the same in every TCAM layer, layer boundaries follow
+        # from arithmetic instead of an O(n) walk.
+        self._kind_counts: Dict[MatchKind, int] = {}
+
+    # -- basic accessors -----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, match: Match) -> bool:
+        return bool(self._by_key.get(match.key()))
+
+    @property
+    def entries(self) -> List[FlowEntry]:
+        """All installed entries (unspecified order)."""
+        return list(self._entries.values())
+
+    def entries_by_rank(self) -> List[FlowEntry]:
+        """Entries from best-ranked (fastest layer) to worst."""
+        return [self._entries[eid] for _, eid in reversed(self._ranked)]
+
+    def lookup_exact(self, match: Match, priority: Optional[int] = None) -> Optional[FlowEntry]:
+        """Find an entry with exactly this match (and priority, if given)."""
+        for entry_id in self._by_key.get(match.key(), ()):
+            entry = self._entries[entry_id]
+            if priority is None or entry.priority == priority:
+                return entry
+        return None
+
+    # -- ranking internals -----------------------------------------------------
+    def _score_key(self, entry: FlowEntry) -> Tuple:
+        return self.policy.score(entry)
+
+    def _ranked_insert(self, entry: FlowEntry) -> None:
+        bisect.insort(self._ranked, (self._score_key(entry), entry.entry_id))
+        self._boundaries_dirty = True
+
+    def _ranked_remove(self, entry: FlowEntry) -> None:
+        key = (self._score_key(entry), entry.entry_id)
+        index = bisect.bisect_left(self._ranked, key)
+        if index >= len(self._ranked) or self._ranked[index] != key:
+            raise AssertionError("ranked index out of sync")
+        del self._ranked[index]
+        self._boundaries_dirty = True
+
+    def rank_of(self, entry: FlowEntry) -> int:
+        """0-based rank from the best (fastest) position."""
+        key = (self._score_key(entry), entry.entry_id)
+        index = bisect.bisect_left(self._ranked, key)
+        if index >= len(self._ranked) or self._ranked[index] != key:
+            raise AssertionError("entry missing from ranking")
+        return len(self._ranked) - 1 - index
+
+    def _layer_cost(self, layer: TableLayer, entry: FlowEntry) -> float:
+        if layer.geometry is not None:
+            return layer.geometry.entry_cost(entry.match.kind)
+        return 1.0
+
+    def _uniform_cost(self, layer: TableLayer) -> Optional[float]:
+        """The single per-entry cost in ``layer``, or None if mixed."""
+        assert layer.geometry is not None
+        costs = {
+            layer.geometry.entry_cost(kind)
+            for kind, count in self._kind_counts.items()
+            if count > 0
+        }
+        if len(costs) > 1:
+            return None
+        return costs.pop() if costs else 1.0
+
+    def _compute_boundaries(self) -> List[int]:
+        """Rank boundaries: ranks [b[i-1], b[i]) belong to layer i."""
+        if not self._boundaries_dirty:
+            return self._boundaries
+        boundaries: List[int] = []
+        rank = 0
+        total = len(self._ranked)
+        ordered: Optional[List[FlowEntry]] = None
+        for layer in self.layers:
+            if layer.capacity is None and layer.geometry is None:
+                rank = total
+            elif layer.geometry is not None:
+                cost = self._uniform_cost(layer)
+                if cost is not None:
+                    rank = min(total, rank + int(layer.geometry.slot_units // cost))
+                else:
+                    if ordered is None:
+                        ordered = [self._entries[eid] for _, eid in reversed(self._ranked)]
+                    budget = layer.geometry.slot_units
+                    while rank < total:
+                        entry_cost = self._layer_cost(layer, ordered[rank])
+                        if entry_cost > budget:
+                            break
+                        budget -= entry_cost
+                        rank += 1
+            else:
+                rank = min(total, rank + layer.capacity)
+            boundaries.append(rank)
+        self._boundaries = boundaries
+        self._boundaries_dirty = False
+        return boundaries
+
+    def layer_of(self, entry: FlowEntry) -> int:
+        """Index of the layer currently holding ``entry``."""
+        rank = self.rank_of(entry)
+        for layer_index, boundary in enumerate(self._compute_boundaries()):
+            if rank < boundary:
+                return layer_index
+        raise AssertionError("entry beyond all layer boundaries")
+
+    def layer_occupancy(self) -> List[int]:
+        """Number of entries currently resident in each layer."""
+        boundaries = self._compute_boundaries()
+        counts = []
+        previous = 0
+        for boundary in boundaries:
+            counts.append(boundary - previous)
+            previous = boundary
+        return counts
+
+    def _fits(self, candidate: FlowEntry) -> bool:
+        """Would the stack still hold every entry if ``candidate`` joined?"""
+        if len(self._entries) + 1 > self.hard_limit:
+            return False
+        if any(layer.capacity is None and layer.geometry is None for layer in self.layers):
+            return True
+        # All layers bounded: check that total capacity absorbs the new
+        # entry.  With a homogeneous entry mix (including the candidate)
+        # the capacity is arithmetic; otherwise simulate the boundary walk.
+        kinds = {kind for kind, count in self._kind_counts.items() if count > 0}
+        kinds.add(candidate.match.kind)
+        total_capacity = 0
+        uniform = True
+        for layer in self.layers:
+            if layer.geometry is None:
+                total_capacity += layer.capacity or 0
+                continue
+            costs = {layer.geometry.entry_cost(kind) for kind in kinds}
+            if len(costs) > 1:
+                uniform = False
+                break
+            total_capacity += int(layer.geometry.slot_units // costs.pop())
+        if uniform:
+            return len(self._entries) + 1 <= total_capacity
+
+        ordered = [self._entries[eid] for _, eid in reversed(self._ranked)]
+        candidate_key = (self._score_key(candidate), candidate.entry_id)
+        insert_at = len(self._ranked) - bisect.bisect_left(self._ranked, candidate_key)
+        ordered.insert(insert_at, candidate)
+        rank = 0
+        for layer in self.layers:
+            if layer.geometry is not None:
+                budget = layer.geometry.slot_units
+                while rank < len(ordered):
+                    cost = self._layer_cost(layer, ordered[rank])
+                    if cost > budget:
+                        break
+                    budget -= cost
+                    rank += 1
+            else:
+                rank = min(len(ordered), rank + (layer.capacity or 0))
+        return rank >= len(ordered)
+
+    # -- mutations --------------------------------------------------------------
+    def insert(
+        self,
+        match: Match,
+        priority: int,
+        actions: Tuple[Action, ...],
+        now_ms: float,
+    ) -> FlowEntry:
+        """Install a new rule.
+
+        Raises:
+            TableFullError: if no layer can absorb the rule.
+        """
+        entry = FlowEntry(
+            match=match,
+            priority=priority,
+            actions=actions,
+            entry_id=self._next_id,
+            inserted_at_ms=now_ms,
+        )
+        if not self._fits(entry):
+            raise TableFullError(capacity=len(self._entries))
+        self._next_id += 1
+        self._entries[entry.entry_id] = entry
+        self._by_key.setdefault(match.key(), []).append(entry.entry_id)
+        self._index_for_match(match).append(entry.entry_id)
+        kind = match.kind
+        self._kind_counts[kind] = self._kind_counts.get(kind, 0) + 1
+        self._ranked_insert(entry)
+        return entry
+
+    def _index_for_match(self, match: Match) -> List[int]:
+        if match.ip_dst is not None and match.ip_dst.length == 32:
+            return self._by_ip_dst.setdefault(match.ip_dst.value, [])
+        if match.eth_dst is not None:
+            return self._by_eth_dst.setdefault(match.eth_dst, [])
+        return self._wildcards
+
+    def remove(self, entry: FlowEntry) -> None:
+        """Remove a specific installed entry."""
+        if entry.entry_id not in self._entries:
+            raise KeyError(f"entry {entry.entry_id} not installed")
+        self._ranked_remove(entry)
+        del self._entries[entry.entry_id]
+        key_list = self._by_key[entry.match.key()]
+        key_list.remove(entry.entry_id)
+        if not key_list:
+            del self._by_key[entry.match.key()]
+        self._index_for_match(entry.match).remove(entry.entry_id)
+        self._kind_counts[entry.match.kind] -= 1
+
+    def touch(self, entry: FlowEntry, now_ms: float, packets: int = 1) -> None:
+        """Update use time / traffic count, preserving ranking invariants."""
+        self._ranked_remove(entry)
+        entry.touch(now_ms, packets=packets)
+        self._ranked_insert(entry)
+
+    def update_priority(self, entry: FlowEntry, priority: int) -> None:
+        """Change an entry's priority (flow MODIFY with a new priority)."""
+        self._ranked_remove(entry)
+        entry.priority = priority
+        self._ranked_insert(entry)
+
+    # -- packet lookup -------------------------------------------------------------
+    def match_packet(self, packet: PacketFields) -> Optional[FlowEntry]:
+        """Highest-priority entry matching the packet, or None."""
+        candidate_ids = list(self._by_ip_dst.get(packet.ip_dst, ()))
+        candidate_ids.extend(self._by_eth_dst.get(packet.eth_dst, ()))
+        candidate_ids.extend(self._wildcards)
+        best: Optional[FlowEntry] = None
+        for entry_id in candidate_ids:
+            entry = self._entries[entry_id]
+            if not entry.match.matches_packet(packet):
+                continue
+            if (
+                best is None
+                or entry.priority > best.priority
+                or (entry.priority == best.priority and entry.entry_id > best.entry_id)
+            ):
+                best = entry
+        return best
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._by_key.clear()
+        self._by_ip_dst.clear()
+        self._by_eth_dst.clear()
+        self._wildcards.clear()
+        self._ranked.clear()
+        self._kind_counts.clear()
+        self._boundaries_dirty = True

@@ -1,0 +1,205 @@
+"""The ``tango-probe`` command-line tool.
+
+Probes a (simulated) switch profile and prints an inference report:
+flow-table layers and sizes, control-plane behaviour classification,
+cache policy, and operation latency curves.
+
+Usage::
+
+    python -m repro.tools.cli probe --profile switch2
+    python -m repro.tools.cli probe --profile switch1 --policy --seed 7
+    python -m repro.tools.cli profiles
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.inference import SwitchInferenceEngine
+from repro.switches.profiles import VENDOR_PROFILES
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tango-probe",
+        description="Infer switch properties with Tango probing patterns.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    probe = sub.add_parser("probe", help="probe one vendor profile")
+    probe.add_argument(
+        "--profile",
+        required=True,
+        choices=sorted(VENDOR_PROFILES),
+        help="vendor profile to probe",
+    )
+    probe.add_argument("--seed", type=int, default=0, help="probe RNG seed")
+    probe.add_argument(
+        "--policy",
+        action="store_true",
+        help="also run the cache-policy probe (Algorithm 2)",
+    )
+    probe.add_argument(
+        "--max-rules",
+        type=int,
+        default=8192,
+        help="size-probe cap for switches that never reject adds",
+    )
+    probe.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the inferred model as JSON instead of a report",
+    )
+
+    sub.add_parser("profiles", help="list the available vendor profiles")
+
+    schedule = sub.add_parser(
+        "schedule",
+        help="run a testbed scenario and compare schedulers",
+    )
+    schedule.add_argument(
+        "--scenario",
+        choices=("lf", "te1", "te2"),
+        default="lf",
+        help="link failure or one of the two traffic-engineering mixes",
+    )
+    schedule.add_argument("--flows", type=int, default=200, help="testbed flow count")
+    schedule.add_argument("--requests", type=int, default=400, help="TE request count")
+    schedule.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _print_report(model, out) -> None:
+    print(f"switch profile : {model.name}", file=out)
+    size = model.size_probe
+    print(f"table layers   : {size.num_layers}", file=out)
+    for index, layer in enumerate(size.layers):
+        shown = "unbounded" if layer.estimated_size is None else layer.estimated_size
+        print(
+            f"  layer {index}: size {shown}, mean RTT {layer.mean_rtt_ms:.2f} ms",
+            file=out,
+        )
+    behavior = model.behavior_probe
+    if behavior is not None:
+        kind = (
+            "traffic-driven (microflow caching)"
+            if behavior.traffic_driven_caching
+            else "traffic-independent"
+        )
+        print(f"rule placement : {kind}", file=out)
+        print(
+            f"  first-packet penalty {behavior.first_packet_penalty_ms:.2f} ms, "
+            f"control path {behavior.control_path_ms:.2f} ms",
+            file=out,
+        )
+    if model.policy_probe is not None:
+        terms = " > ".join(
+            f"{a.value}({'incr' if d.value > 0 else 'decr'})"
+            for a, d in model.policy_probe.terms
+        )
+        print(f"cache policy   : {terms}", file=out)
+    if model.latency_curves:
+        print("latency curves : t(n) = a*n + b*n^2  (ms)", file=out)
+        for (op, pattern), curve in sorted(
+            model.latency_curves.items(), key=lambda kv: (kv[0][0].value, kv[0][1].value)
+        ):
+            print(
+                f"  {op.value:>3} / {pattern.value:<10} a={curve.linear_ms:8.4f}  "
+                f"b={curve.quadratic_ms:10.6f}",
+                file=out,
+            )
+
+
+def _run_schedule(args, out) -> int:
+    from repro.baselines import DionysusScheduler
+    from repro.core.patterns import make_type_only_pattern
+    from repro.core.scheduler import BasicTangoScheduler
+    from repro.netem.network import EmulatedNetwork
+    from repro.netem.scenarios import LinkFailureScenario, TrafficEngineeringScenario
+    from repro.netem.topology import triangle_topology
+    from repro.sim.rng import SeededRng
+
+    def build_network():
+        network = EmulatedNetwork(
+            triangle_topology(),
+            default_profile=VENDOR_PROFILES["switch1"],
+            profiles={"s3": VENDOR_PROFILES["switch3"]},
+            seed=args.seed,
+        )
+        rng = SeededRng(args.seed).child("cli-flows")
+        for _ in range(args.flows):
+            network.new_flow("s1", "s2", priority=rng.randint(1, 2000))
+        network.preinstall_flow_rules()
+        return network
+
+    def build_dag(network):
+        if args.scenario == "lf":
+            return LinkFailureScenario(network, ("s1", "s2")).build_dag()
+        mix = (0.5, 0.25, 0.25) if args.scenario == "te1" else (1 / 3, 1 / 3, 1 / 3)
+        scenario = TrafficEngineeringScenario(network, seed=args.seed + 1)
+        result = scenario.random_mix(args.requests, mix=mix)
+        result.apply_preinstall(network)
+        return result
+
+    arms = {
+        "dionysus": lambda ex: DionysusScheduler(ex),
+        "tango-type": lambda ex: BasicTangoScheduler(
+            ex, patterns=[make_type_only_pattern()]
+        ),
+        "tango": lambda ex: BasicTangoScheduler(ex),
+    }
+    print(
+        f"scenario {args.scenario}: {args.flows} flows on the triangle testbed",
+        file=out,
+    )
+    baseline = None
+    for label, factory in arms.items():
+        network = build_network()
+        result = build_dag(network)
+        outcome = factory(network.executor()).schedule(result.dag)
+        seconds = outcome.makespan_ms / 1000.0
+        if baseline is None:
+            baseline = seconds
+            note = "(baseline)"
+        else:
+            note = f"({(baseline - seconds) / baseline * 100:+.0f}% vs Dionysus)"
+        print(f"  {label:12s}: {seconds:7.2f} s {note}", file=out)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "schedule":
+        return _run_schedule(args, out)
+
+    if args.command == "profiles":
+        for name, profile in sorted(VENDOR_PROFILES.items()):
+            sizes = [
+                "unbounded" if s is None else str(s) for s in profile.true_layer_sizes
+            ]
+            print(f"{name:10s} layers: {', '.join(sizes)}", file=out)
+        return 0
+
+    profile = VENDOR_PROFILES[args.profile]
+    engine = SwitchInferenceEngine(
+        profile,
+        seed=args.seed,
+        size_probe_max_rules=args.max_rules,
+        latency_batch_sizes=(100, 400, 900),
+    )
+    model = engine.infer(include_policy=args.policy)
+    if args.json:
+        import json
+
+        print(json.dumps(model.to_dict(), indent=2), file=out)
+    else:
+        _print_report(model, out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,89 @@
+"""Render a pytest-benchmark JSON file into a markdown experiment report.
+
+The benchmark harness attaches its paper-facing numbers to each bench's
+``extra_info``; this tool turns a saved run into a readable report::
+
+    pytest benchmarks/ --benchmark-only --benchmark-json=run.json
+    python -m repro.tools.report run.json > report.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+
+def _format_value(value: Any, indent: int = 0) -> List[str]:
+    pad = "  " * indent
+    if isinstance(value, dict):
+        lines = []
+        for key, inner in value.items():
+            if isinstance(inner, (dict, list)):
+                lines.append(f"{pad}- **{key}**:")
+                lines.extend(_format_value(inner, indent + 1))
+            else:
+                lines.append(f"{pad}- **{key}**: {inner}")
+        return lines
+    if isinstance(value, list):
+        return [f"{pad}- {item}" for item in value]
+    return [f"{pad}- {value}"]
+
+
+def render_report(data: Dict[str, Any]) -> str:
+    """Markdown report from a pytest-benchmark JSON payload."""
+    lines = ["# Tango reproduction — benchmark report", ""]
+    machine = data.get("machine_info", {})
+    if machine:
+        lines.append(
+            f"_Host: {machine.get('node', '?')} / "
+            f"Python {machine.get('python_version', '?')}_"
+        )
+        lines.append("")
+
+    benches = sorted(data.get("benchmarks", []), key=lambda b: b.get("name", ""))
+    for bench in benches:
+        name = bench.get("name", "?")
+        stats = bench.get("stats", {})
+        lines.append(f"## {name}")
+        lines.append("")
+        mean = stats.get("mean")
+        if mean is not None:
+            lines.append(f"Harness wall time: {mean:.2f} s")
+            lines.append("")
+        extra = bench.get("extra_info") or {}
+        if extra:
+            lines.append("Reported results:")
+            for key, value in extra.items():
+                if isinstance(value, (dict, list)):
+                    lines.append(f"- **{key}**:")
+                    lines.extend(_format_value(value, indent=1))
+                else:
+                    lines.append(f"- **{key}**: {value}")
+        else:
+            lines.append("(no extra_info recorded)")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    parser = argparse.ArgumentParser(
+        prog="tango-report",
+        description="Render a pytest-benchmark JSON file as markdown.",
+    )
+    parser.add_argument("json_file", help="path to the --benchmark-json output")
+    args = parser.parse_args(argv)
+    try:
+        with open(args.json_file) as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"error: cannot read {args.json_file}: {error}", file=sys.stderr)
+        return 1
+    print(render_report(data), file=out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,187 @@
+"""ClassBench-like ACL rule-set synthesis.
+
+The generator produces an ACL-ordered list of matches organised into
+*families* that never overlap across family boundaries (each family's
+rules carry a distinct exact ``eth_src``, like per-device ACL blocks), so
+the dependency structure is fully controlled:
+
+* one **deep family** -- a refinement chain in which each rule is
+  strictly more specific than the previous one (alternately narrowing
+  the source and destination prefixes), giving a dependency chain of a
+  prescribed depth (up to 66);
+* many **shallow chain families** -- short nested-destination chains;
+* **star families** -- one coarse rule shadowed by several mutually
+  disjoint specific rules (depth 2, high fan-out);
+* **singletons** -- independent rules.
+
+Table 2's shape statistics (rule count, distinct topological priorities
+= dependency depth, R priorities = rule count) are reproduced by the
+presets below.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+from repro.openflow.match import IpPrefix, Match
+from repro.sim.rng import SeededRng
+from repro.workloads.dependencies import build_dependency_graph, dag_depth
+
+
+@dataclass
+class RuleSet:
+    """An ACL-ordered rule list plus its dependency DAG."""
+
+    name: str
+    rules: List[Match]
+    dependencies: nx.DiGraph
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    @property
+    def depth(self) -> int:
+        return dag_depth(self.dependencies)
+
+
+#: Table 2 presets: (rule count, dependency depth).
+CLASSBENCH_PRESETS: Dict[int, Tuple[int, int]] = {
+    1: (829, 64),
+    2: (989, 38),
+    3: (972, 33),
+}
+
+
+def _prefix(value: int, length: int) -> IpPrefix:
+    mask = 0 if length == 0 else (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF
+    return IpPrefix(value & mask, length)
+
+
+class ClassbenchLikeGenerator:
+    """Synthesises a rule set with prescribed size and dependency depth.
+
+    Args:
+        n_rules: total number of rules.
+        depth: length of the longest dependency chain (2..66).
+        seed: RNG seed.
+        name: label for the generated rule set.
+    """
+
+    def __init__(
+        self, n_rules: int, depth: int, seed: int = 0, name: str = "classbench"
+    ) -> None:
+        if n_rules < depth:
+            raise ValueError("n_rules must be at least the requested depth")
+        if not 1 <= depth <= 66:
+            raise ValueError("depth must be in [1, 66]")
+        self.n_rules = n_rules
+        self.depth = depth
+        self.seed = seed
+        self.name = name
+        self._rng = SeededRng(seed).child(f"classbench:{name}")
+
+    # -- family builders --------------------------------------------------------
+    def _deep_family(self, family_id: int, length: int) -> List[Match]:
+        """A refinement chain: every rule more specific than the previous.
+
+        The chain alternates deepening the source and destination
+        prefixes along a random trunk address; ACL order is most-specific
+        first, so rule i must beat (and depends on) every later rule.
+        """
+        trunk_src = self._rng.randint(0, 2**32)
+        trunk_dst = self._rng.randint(0, 2**32)
+        # Distribute `length` refinement steps over the two 0..32 ladders.
+        src_steps = min(32, (length + 1) // 2)
+        dst_steps = min(32, length - src_steps)
+        levels: List[Tuple[int, int]] = []
+        src_len, dst_len = src_steps, dst_steps
+        for step in range(length):
+            levels.append((src_len, dst_len))
+            if src_len > 0 and (dst_len == 0 or step % 2 == 0):
+                src_len -= 1
+            else:
+                dst_len = max(0, dst_len - 1)
+        rules = []
+        for src_len, dst_len in levels:
+            rules.append(
+                Match(
+                    eth_src=family_id,
+                    eth_type=0x0800,
+                    ip_src=_prefix(trunk_src, src_len) if src_len else None,
+                    ip_dst=_prefix(trunk_dst, dst_len) if dst_len else None,
+                )
+            )
+        return rules
+
+    def _chain_family(self, family_id: int, length: int) -> List[Match]:
+        """A nested destination-prefix chain, most specific first."""
+        trunk_dst = self._rng.randint(0, 2**32)
+        base_len = self._rng.randint(8, 20)
+        rules = []
+        for level in range(length):
+            rules.append(
+                Match(
+                    eth_src=family_id,
+                    eth_type=0x0800,
+                    ip_dst=_prefix(trunk_dst, min(32, base_len + length - 1 - level)),
+                )
+            )
+        return rules
+
+    def _star_family(self, family_id: int, leaves: int) -> List[Match]:
+        """Disjoint specific rules shadowing one coarse rule (depth 2)."""
+        base = self._rng.randint(0, 2**8) << 24
+        parent_len = 8
+        rules = []
+        for leaf in range(leaves):
+            leaf_value = base | (leaf << 8)
+            rules.append(
+                Match(eth_src=family_id, eth_type=0x0800, ip_dst=_prefix(leaf_value, 24))
+            )
+        rules.append(Match(eth_src=family_id, eth_type=0x0800, ip_dst=_prefix(base, parent_len)))
+        return rules
+
+    def _singleton(self, family_id: int) -> List[Match]:
+        address = self._rng.randint(0, 2**32)
+        return [Match(eth_src=family_id, eth_type=0x0800, ip_dst=_prefix(address, 32))]
+
+    # -- public API ------------------------------------------------------------------
+    def generate(self) -> RuleSet:
+        """Generate the rule set and compute its dependency DAG."""
+        rules: List[Match] = []
+        family_id = 1
+        rules.extend(self._deep_family(family_id, self.depth))
+        family_id += 1
+
+        remaining = self.n_rules - len(rules)
+        while remaining > 0:
+            draw = self._rng.uniform()
+            max_len = min(remaining, max(2, self.depth // 2))
+            if draw < 0.35 and remaining >= 3:
+                size = min(remaining, self._rng.randint(3, max(4, min(12, max_len))))
+                family = self._star_family(family_id, leaves=size - 1)
+            elif draw < 0.75 and remaining >= 2:
+                size = min(remaining, self._rng.randint(2, max(3, min(10, max_len))))
+                family = self._chain_family(family_id, size)
+            else:
+                family = self._singleton(family_id)
+            rules.extend(family)
+            remaining = self.n_rules - len(rules)
+            family_id += 1
+
+        dependencies = build_dependency_graph(rules)
+        return RuleSet(name=self.name, rules=rules, dependencies=dependencies)
+
+
+def classbench_preset(index: int, seed: int = 0) -> RuleSet:
+    """One of the paper's three rule sets, by Table 2 shape statistics."""
+    if index not in CLASSBENCH_PRESETS:
+        raise ValueError(f"preset must be one of {sorted(CLASSBENCH_PRESETS)}")
+    n_rules, depth = CLASSBENCH_PRESETS[index]
+    generator = ClassbenchLikeGenerator(
+        n_rules=n_rules, depth=depth, seed=seed + index, name=f"classbench{index}"
+    )
+    return generator.generate()

@@ -1,0 +1,44 @@
+"""Traffic-matrix and flow-arrival helpers for network-wide scenarios."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.sim.rng import SeededRng
+
+
+def uniform_traffic_matrix(
+    nodes: Sequence[str],
+    total_demand: float,
+    rng: SeededRng,
+    sparsity: float = 0.5,
+) -> Dict[Tuple[str, str], float]:
+    """A random traffic matrix over node pairs.
+
+    Args:
+        nodes: node names.
+        total_demand: demand summed over all selected pairs.
+        rng: randomness source.
+        sparsity: fraction of ordered pairs that carry traffic.
+    """
+    pairs = [(a, b) for a in nodes for b in nodes if a != b]
+    count = max(1, int(len(pairs) * sparsity))
+    selected = rng.sample(pairs, count)
+    weights = [rng.uniform(0.5, 1.5) for _ in selected]
+    scale = total_demand / sum(weights)
+    return {pair: weight * scale for pair, weight in zip(selected, weights)}
+
+
+def poisson_flow_arrivals(
+    rate_per_ms: float, duration_ms: float, rng: SeededRng
+) -> List[float]:
+    """Arrival times of a Poisson flow process over ``duration_ms``."""
+    if rate_per_ms <= 0:
+        raise ValueError("rate_per_ms must be positive")
+    arrivals: List[float] = []
+    t = 0.0
+    while True:
+        t += rng.exponential(1.0 / rate_per_ms)
+        if t >= duration_ms:
+            return arrivals
+        arrivals.append(t)

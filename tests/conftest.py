@@ -1,0 +1,30 @@
+"""Shared fixtures for the Tango reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.probing import ProbingEngine
+from repro.openflow.channel import ControlChannel
+from repro.openflow.match import IpPrefix, Match
+from repro.sim.rng import SeededRng
+from repro.switches.profiles import make_cache_test_profile
+from repro.tables.policies import FIFO
+
+
+@pytest.fixture
+def small_switch():
+    """A small two-level FIFO cache switch (fast probing in tests)."""
+    profile = make_cache_test_profile(FIFO, layer_sizes=(32, 64, None))
+    return profile.build(seed=7)
+
+
+@pytest.fixture
+def small_engine(small_switch):
+    channel = ControlChannel(small_switch)
+    return ProbingEngine(channel, rng=SeededRng(11).child("tests"))
+
+
+def make_match(index: int, priority_salt: int = 0) -> Match:
+    """A unique L3 match for test rules."""
+    return Match(eth_type=0x0800, ip_dst=IpPrefix(0x0C00_0000 + index, 32))

@@ -1,0 +1,60 @@
+"""Integration: ACL minimisation reduces hardware install time."""
+
+import pytest
+
+from repro.apps import AclApplication
+from repro.core.scheduler import BasicTangoScheduler, NetworkExecutor
+from repro.openflow.channel import ControlChannel
+from repro.openflow.match import IpPrefix, Match
+from repro.switches.profiles import SWITCH_1
+from repro.sim.rng import SeededRng
+
+
+def _build_shadow_heavy_acl(n_families=40, leaves=4):
+    """An ACL where each family's general rule precedes its (therefore
+    unreachable) specific descendants -- a worst-case redundant ACL."""
+    rules = []
+    rng = SeededRng(11).child("acl")
+    for family in range(n_families):
+        base = (rng.randint(0, 200) << 24) | (family << 16)
+        rules.append(Match(eth_src=family + 1, eth_type=0x0800, ip_dst=IpPrefix(base & 0xFFFF0000, 16)))
+        for leaf in range(leaves):
+            rules.append(
+                Match(
+                    eth_src=family + 1,
+                    eth_type=0x0800,
+                    ip_dst=IpPrefix((base & 0xFFFF0000) | (leaf << 8), 24),
+                )
+            )
+    return rules
+
+
+def _install_time(rules, minimize):
+    app = AclApplication("hw", minimize=minimize)
+    dag, requests = app.compile(rules)
+    switch = SWITCH_1.build(seed=9)
+    switch.name = "hw"
+    executor = NetworkExecutor({"hw": ControlChannel(switch)})
+    result = BasicTangoScheduler(executor).schedule(dag)
+    return result.makespan_ms, len(requests), switch.num_flows
+
+
+def test_minimisation_removes_unreachable_rules_and_speeds_install():
+    rules = _build_shadow_heavy_acl()
+    full_time, full_count, full_flows = _install_time(rules, minimize=False)
+    min_time, min_count, min_flows = _install_time(rules, minimize=True)
+
+    assert full_count == len(rules)
+    # Every leaf rule was shadowed by its family's general rule.
+    assert min_count == 40
+    assert min_flows == 40
+    assert min_time < 0.5 * full_time
+
+
+def test_minimisation_keeps_exception_rules():
+    """Specific-before-general (real exception patterns) must survive."""
+    exception = Match(eth_type=0x0800, ip_dst=IpPrefix(0x0A010000, 16))
+    default = Match(eth_type=0x0800, ip_dst=IpPrefix(0x0A000000, 8))
+    app = AclApplication("hw", minimize=True)
+    _, requests = app.compile([exception, default])
+    assert len(requests) == 2

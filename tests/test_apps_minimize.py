@@ -1,0 +1,140 @@
+"""Tests for ACL shadowed-rule elimination."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps import AclApplication
+from repro.apps.minimize import minimize_acl
+from repro.openflow.match import IpPrefix, Match, PacketFields
+
+
+def _rule(value, length, port=None):
+    return Match(
+        eth_type=0x0800, ip_dst=IpPrefix(value, length), tp_dst=port
+    )
+
+
+def test_empty_acl():
+    result = minimize_acl([])
+    assert result.rules == []
+    assert result.removed_count == 0
+
+
+def test_no_shadowing_keeps_everything():
+    rules = [_rule(0x0A000000, 8), _rule(0x0B000000, 8)]
+    result = minimize_acl(rules)
+    assert result.rules == rules
+    assert result.removed_count == 0
+
+
+def test_later_specific_rule_shadowed_by_earlier_general():
+    general = _rule(0x0A000000, 8)
+    specific = _rule(0x0A010000, 16)
+    result = minimize_acl([general, specific])
+    assert result.rules == [general]
+    assert result.removed_indices == [1]
+    assert result.shadowed_by[1] == 0
+
+
+def test_earlier_specific_does_not_shadow_later_general():
+    """The classic exception-then-default ACL pattern must survive."""
+    specific = _rule(0x0A010000, 16)
+    general = _rule(0x0A000000, 8)
+    result = minimize_acl([specific, general])
+    assert result.rules == [specific, general]
+
+
+def test_duplicate_rule_removed():
+    rule = _rule(0x0A000000, 24)
+    result = minimize_acl([rule, rule])
+    assert result.removed_indices == [1]
+
+
+def test_shadow_by_removed_rule_does_not_cascade_wrongly():
+    """A removed rule cannot shadow anything (only kept rules count)."""
+    a = _rule(0x0A000000, 8)  # kept
+    b = _rule(0x0A010000, 16)  # removed, shadowed by a
+    c = _rule(0x0A010100, 24)  # also covered by a directly
+    result = minimize_acl([a, b, c])
+    assert result.kept_indices == [0]
+    assert result.shadowed_by[2] == 0
+
+
+def test_port_wildcard_shadows_port_specific():
+    wide = _rule(0x0A000000, 24)
+    narrow = _rule(0x0A000000, 24, port=80)
+    result = minimize_acl([wide, narrow])
+    assert result.rules == [wide]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),  # /8 block
+            st.integers(min_value=8, max_value=32),
+        ),
+        max_size=25,
+    )
+)
+def test_minimisation_preserves_first_match_semantics(specs):
+    """Property: for any probe packet, the first matching rule index maps
+    to the same *kept* rule before and after minimisation."""
+    def masked(value, length):
+        mask = 0 if length == 0 else (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF
+        return value & mask
+
+    rules = [
+        _rule(masked((block << 24) | 0x10000, length), length)
+        for block, length in specs
+    ]
+    result = minimize_acl(rules)
+    probes = [PacketFields(ip_dst=(block << 24) | 0x10000) for block in range(4)]
+    for packet in probes:
+        first_original = next(
+            (i for i, rule in enumerate(rules) if rule.matches_packet(packet)), None
+        )
+        first_minimised = next(
+            (
+                result.kept_indices[j]
+                for j, rule in enumerate(result.rules)
+                if rule.matches_packet(packet)
+            ),
+            None,
+        )
+        if first_original is None:
+            assert first_minimised is None
+        else:
+            # The original first match either survived, or was shadowed by
+            # an earlier rule that also matches -- in both cases the first
+            # *kept* match is at most the original index.
+            assert first_minimised is not None
+            assert first_minimised <= first_original
+            # And the rule that now fires covers the one that fired before.
+            if first_minimised != first_original:
+                assert rules[first_minimised].covers(rules[first_original])
+
+
+def test_acl_application_with_minimisation():
+    general = _rule(0x0A000000, 8)
+    shadowed = _rule(0x0A010000, 16)
+    independent = _rule(0x0B000000, 8)
+    app = AclApplication("sw", minimize=True)
+    dag, requests = app.compile([general, shadowed, independent])
+    assert len(dag) == 2
+    assert set(requests) == {0, 2}  # original indices; index 1 dropped
+
+
+def test_acl_application_minimisation_preserves_action_alignment():
+    from repro.openflow.actions import DropAction, OutputAction
+
+    general = _rule(0x0A000000, 8)
+    shadowed = _rule(0x0A010000, 16)
+    independent = _rule(0x0B000000, 8)
+    app = AclApplication("sw", minimize=True)
+    dag, requests = app.compile(
+        [general, shadowed, independent],
+        actions=[(DropAction(),), (OutputAction(1),), (OutputAction(2),)],
+    )
+    assert requests[0].actions == (DropAction(),)
+    assert requests[2].actions == (OutputAction(2),)

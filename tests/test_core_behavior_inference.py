@@ -1,0 +1,72 @@
+"""Tests for control-plane behaviour inference (traffic-driven caching)."""
+
+import pytest
+
+from repro.core.behavior_inference import BehaviorProber
+from repro.core.probing import ProbingEngine
+from repro.openflow.channel import ControlChannel
+from repro.sim.rng import SeededRng
+from repro.switches.profiles import OVS_PROFILE, SWITCH_1, SWITCH_2, make_cache_test_profile
+from repro.tables.policies import FIFO, LRU
+
+
+def _probe(profile, seed=3, **kwargs):
+    switch = profile.build(seed=seed)
+    engine = ProbingEngine(ControlChannel(switch), rng=SeededRng(seed).child("beh"))
+    return BehaviorProber(engine, **kwargs).probe()
+
+
+def test_flow_count_validated(small_engine):
+    with pytest.raises(ValueError):
+        BehaviorProber(small_engine, flows=2)
+
+
+def test_ovs_classified_as_traffic_driven():
+    """OVS's first-packet-slow signature (Figure 2a) is detected."""
+    result = _probe(OVS_PROFILE)
+    assert result.traffic_driven_caching
+    assert result.first_packet_penalty_ms > 1.0
+    assert result.second_packet_ms < result.first_packet_ms
+
+
+def test_switch1_classified_as_traffic_independent():
+    """Switch #1's FIFO placement: first == second packet delay (Fig 2b)."""
+    result = _probe(SWITCH_1)
+    assert not result.traffic_driven_caching
+    assert abs(result.first_packet_penalty_ms) < 0.3
+
+
+def test_switch2_classified_as_traffic_independent():
+    result = _probe(SWITCH_2)
+    assert not result.traffic_driven_caching
+
+
+def test_generic_cache_switch_not_traffic_driven():
+    profile = make_cache_test_profile(FIFO, (64, None), layer_means_ms=(0.5, 3.0))
+    result = _probe(profile)
+    assert not result.traffic_driven_caching
+
+
+def test_lru_promotion_is_not_mistaken_for_microflow_caching():
+    """LRU promotes on use, but a cached flow's first probe is already
+    fast -- no first-packet penalty, so no false positive."""
+    profile = make_cache_test_profile(LRU, (64, None), layer_means_ms=(0.5, 3.0))
+    result = _probe(profile, flows=40)
+    assert not result.traffic_driven_caching
+
+
+def test_control_path_baseline_measured():
+    result = _probe(SWITCH_2)
+    assert result.control_path_ms > 6.0
+
+
+def test_result_stored_in_scores():
+    switch = OVS_PROFILE.build(seed=4)
+    engine = ProbingEngine(ControlChannel(switch), rng=SeededRng(4).child("b"))
+    result = BehaviorProber(engine).probe()
+    assert engine.scores.get("ovs", "behavior_probe") is result
+
+
+def test_flows_probed_count():
+    result = _probe(OVS_PROFILE, flows=16)
+    assert result.flows_probed == 16

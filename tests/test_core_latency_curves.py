@@ -1,0 +1,130 @@
+"""Tests for latency-curve probing and fitting."""
+
+import pytest
+
+from repro.core.latency_curves import (
+    LatencyCurve,
+    LatencyCurveProber,
+    PriorityPattern,
+    derive_rewrite_patterns,
+    fit_curve,
+)
+from repro.core.probing import ProbingEngine
+from repro.core.scores import TangoScoreDatabase
+from repro.openflow.channel import ControlChannel
+from repro.openflow.messages import FlowModCommand
+from repro.sim.rng import SeededRng
+from repro.switches.profiles import OVS_PROFILE, SWITCH_2
+
+
+def _factory(profile, scores=None, seed_box=[0]):
+    def make():
+        seed_box[0] += 1
+        switch = profile.build(seed=seed_box[0])
+        return ProbingEngine(
+            ControlChannel(switch),
+            scores=scores,
+            rng=SeededRng(seed_box[0]).child("lat"),
+        )
+
+    return make
+
+
+# -- fitting ---------------------------------------------------------------------
+def test_fit_linear_curve():
+    samples = [(100, 200.0), (200, 400.0), (400, 800.0)]
+    curve = fit_curve(FlowModCommand.ADD, PriorityPattern.SAME, samples)
+    assert curve.linear_ms == pytest.approx(2.0, rel=0.01)
+    assert curve.quadratic_ms == pytest.approx(0.0, abs=1e-6)
+
+
+def test_fit_quadratic_curve():
+    samples = [(n, 0.5 * n + 0.01 * n * n) for n in (100, 200, 400, 800)]
+    curve = fit_curve(FlowModCommand.ADD, PriorityPattern.DESCENDING, samples)
+    assert curve.linear_ms == pytest.approx(0.5, rel=0.05)
+    assert curve.quadratic_ms == pytest.approx(0.01, rel=0.05)
+
+
+def test_fit_requires_samples():
+    with pytest.raises(ValueError):
+        fit_curve(FlowModCommand.ADD, PriorityPattern.SAME, [])
+
+
+def test_total_and_per_op():
+    curve = LatencyCurve(
+        op=FlowModCommand.ADD,
+        pattern=PriorityPattern.SAME,
+        linear_ms=1.0,
+        quadratic_ms=0.01,
+    )
+    assert curve.total_ms(10) == pytest.approx(11.0)
+    # Marginal cost grows with fill level.
+    assert curve.per_op_ms(100) > curve.per_op_ms(0)
+
+
+# -- probing ---------------------------------------------------------------------
+def test_prober_measures_all_operations():
+    scores = TangoScoreDatabase()
+    prober = LatencyCurveProber(
+        _factory(SWITCH_2, scores), batch_sizes=(50, 100, 200), scores=scores
+    )
+    curves = prober.probe()
+    keys = set(curves)
+    assert (FlowModCommand.ADD, PriorityPattern.ASCENDING) in keys
+    assert (FlowModCommand.ADD, PriorityPattern.DESCENDING) in keys
+    assert (FlowModCommand.MODIFY, PriorityPattern.SAME) in keys
+    assert (FlowModCommand.DELETE, PriorityPattern.SAME) in keys
+
+
+def test_hardware_descending_has_quadratic_term():
+    prober = LatencyCurveProber(_factory(SWITCH_2), batch_sizes=(50, 100, 200, 400))
+    curves = prober.probe()
+    descending = curves[(FlowModCommand.ADD, PriorityPattern.DESCENDING)]
+    ascending = curves[(FlowModCommand.ADD, PriorityPattern.ASCENDING)]
+    assert descending.quadratic_ms > 5 * max(ascending.quadratic_ms, 1e-9)
+    assert descending.total_ms(400) > 3 * ascending.total_ms(400)
+
+
+def test_ovs_curves_are_flat():
+    prober = LatencyCurveProber(_factory(OVS_PROFILE), batch_sizes=(50, 100, 200))
+    curves = prober.probe()
+    descending = curves[(FlowModCommand.ADD, PriorityPattern.DESCENDING)]
+    ascending = curves[(FlowModCommand.ADD, PriorityPattern.ASCENDING)]
+    assert descending.total_ms(200) == pytest.approx(ascending.total_ms(200), rel=0.3)
+
+
+def test_curves_stored_in_score_db():
+    scores = TangoScoreDatabase()
+    prober = LatencyCurveProber(
+        _factory(SWITCH_2, scores), batch_sizes=(50, 100), scores=scores
+    )
+    prober.probe()
+    stored = scores.get("switch2", "latency_curve", op="add", pattern="descending")
+    assert stored is not None
+    assert stored.op is FlowModCommand.ADD
+
+
+def test_batch_sizes_required():
+    with pytest.raises(ValueError):
+        LatencyCurveProber(_factory(SWITCH_2), batch_sizes=())
+
+
+# -- derived patterns -----------------------------------------------------------------
+def test_derive_rewrite_patterns_weights_reflect_measurements():
+    prober = LatencyCurveProber(_factory(SWITCH_2), batch_sizes=(50, 100, 200, 400))
+    curves = prober.probe()
+    ascending, descending = derive_rewrite_patterns(curves)
+    counts = {FlowModCommand.ADD: 100}
+    # Descending adds must score strictly worse on hardware.
+    assert ascending.score_counts(counts) > descending.score_counts(counts)
+
+
+def test_derived_patterns_order_adds_by_priority():
+    prober = LatencyCurveProber(_factory(SWITCH_2), batch_sizes=(50, 100))
+    ascending, descending = derive_rewrite_patterns(prober.probe())
+    low = ascending.order_key(FlowModCommand.ADD, 1)
+    high = ascending.order_key(FlowModCommand.ADD, 9)
+    assert low < high
+    assert descending.order_key(FlowModCommand.ADD, 9) < descending.order_key(
+        FlowModCommand.ADD, 1
+    )

@@ -1,0 +1,113 @@
+"""Tests for Algorithm 2 (cache-policy inference)."""
+
+import pytest
+
+from repro.core.policy_inference import PolicyProber
+from repro.core.probing import ProbingEngine
+from repro.openflow.channel import ControlChannel
+from repro.sim.rng import SeededRng
+from repro.switches.profiles import make_cache_test_profile
+from repro.tables.entry import FlowAttribute
+from repro.tables.policies import (
+    FIFO,
+    LIFO,
+    LFU,
+    LRU,
+    PRIORITY_CACHE,
+    PRIORITY_THEN_LRU,
+    TRAFFIC_THEN_PRIORITY,
+    Direction,
+)
+
+CACHE = 64
+
+
+def _probe(policy, seed=7, cache_size=CACHE):
+    profile = make_cache_test_profile(
+        policy, (cache_size, 2 * cache_size, None), layer_means_ms=(0.5, 2.5, 4.8)
+    )
+    switch = profile.build(seed=seed)
+    engine = ProbingEngine(ControlChannel(switch), rng=SeededRng(seed).child(policy.name))
+    return PolicyProber(engine, cache_size=cache_size).probe()
+
+
+def test_cache_size_too_small_rejected(small_engine):
+    with pytest.raises(ValueError):
+        PolicyProber(small_engine, cache_size=4)
+
+
+def test_fifo_detected():
+    result = _probe(FIFO)
+    assert result.terms[0] == (FlowAttribute.INSERTION, Direction.DECREASING)
+    assert result.rounds == 1  # serial attribute terminates immediately
+
+
+def test_lifo_detected():
+    result = _probe(LIFO)
+    assert result.terms[0] == (FlowAttribute.INSERTION, Direction.INCREASING)
+
+
+def test_lru_detected():
+    result = _probe(LRU)
+    assert result.terms[0] == (FlowAttribute.USE_TIME, Direction.INCREASING)
+    assert result.rounds == 1
+
+
+def test_lfu_primary_detected():
+    result = _probe(LFU)
+    assert result.terms[0] == (FlowAttribute.TRAFFIC, Direction.INCREASING)
+
+
+def test_priority_cache_detected():
+    result = _probe(PRIORITY_CACHE)
+    assert result.terms[0] == (FlowAttribute.PRIORITY, Direction.INCREASING)
+
+
+def test_lexicographic_traffic_then_priority():
+    result = _probe(TRAFFIC_THEN_PRIORITY)
+    assert result.terms[0] == (FlowAttribute.TRAFFIC, Direction.INCREASING)
+    assert result.terms[1] == (FlowAttribute.PRIORITY, Direction.INCREASING)
+
+
+def test_lexicographic_priority_then_lru():
+    result = _probe(PRIORITY_THEN_LRU)
+    assert result.terms[0] == (FlowAttribute.PRIORITY, Direction.INCREASING)
+    assert result.terms[1] == (FlowAttribute.USE_TIME, Direction.INCREASING)
+    # Use time is serial, so the probe must stop there.
+    assert len(result.terms) == 2
+
+
+def test_terms_unique_attributes():
+    result = _probe(TRAFFIC_THEN_PRIORITY)
+    attributes = [a for a, _ in result.terms]
+    assert len(set(attributes)) == len(attributes)
+
+
+def test_correlations_recorded_per_round():
+    result = _probe(LFU)
+    assert len(result.correlations) == result.rounds
+    # Round 1 correlates raw attributes; traffic must dominate.
+    first = result.correlations[0]
+    assert abs(first["traffic"]) > 0.9
+
+
+def test_as_policy_roundtrip():
+    result = _probe(LRU)
+    policy = result.as_policy(name="probed")
+    assert policy.primary is FlowAttribute.USE_TIME
+    assert policy.name == "probed"
+
+
+def test_probe_cleans_up_flows():
+    profile = make_cache_test_profile(FIFO, (32, 64, None), layer_means_ms=(0.5, 2.5, 4.8))
+    switch = profile.build(seed=5)
+    engine = ProbingEngine(ControlChannel(switch), rng=SeededRng(5).child("x"))
+    PolicyProber(engine, cache_size=32).probe()
+    assert switch.num_flows == 0
+
+
+def test_different_seeds_agree():
+    """Policy inference must be robust to the probing RNG."""
+    for seed in (1, 2, 3):
+        result = _probe(LRU, seed=seed)
+        assert result.terms[0] == (FlowAttribute.USE_TIME, Direction.INCREASING)

@@ -1,0 +1,140 @@
+"""Tests for topological / R priority assignment (Maple-style, Table 2)."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.priorities import (
+    assign_r_priorities,
+    assign_topological_priorities,
+    check_priorities,
+    distinct_priority_count,
+    enforce_topological_priorities,
+)
+from repro.core.requests import RequestDag
+from repro.openflow.match import IpPrefix, Match
+from repro.openflow.messages import FlowModCommand
+
+
+def _chain(n):
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(n))
+    graph.add_edges_from((i, i + 1) for i in range(n - 1))
+    return graph
+
+
+def test_chain_topological_levels():
+    graph = _chain(4)
+    priorities = assign_topological_priorities(graph)
+    assert priorities == {0: 4, 1: 3, 2: 2, 3: 1}
+    assert distinct_priority_count(priorities) == 4
+
+
+def test_flat_graph_single_priority():
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(10))
+    priorities = assign_topological_priorities(graph)
+    assert distinct_priority_count(priorities) == 1
+
+
+def test_cycle_rejected():
+    graph = nx.DiGraph([(0, 1), (1, 0)])
+    with pytest.raises(ValueError):
+        assign_topological_priorities(graph)
+    with pytest.raises(ValueError):
+        assign_r_priorities(graph)
+
+
+def test_r_priorities_are_unique():
+    graph = _chain(5)
+    priorities = assign_r_priorities(graph)
+    assert distinct_priority_count(priorities) == 5
+
+
+def test_step_and_base():
+    graph = _chain(3)
+    priorities = assign_topological_priorities(graph, step=10, base=5)
+    assert priorities == {0: 25, 1: 15, 2: 5}
+
+
+def test_check_priorities_reports_violations():
+    graph = _chain(3)
+    bad = {0: 1, 1: 2, 2: 3}
+    assert len(check_priorities(graph, bad)) == 2
+    good = assign_topological_priorities(graph)
+    assert check_priorities(graph, good) == []
+
+
+def _random_dag(edges_spec, n):
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(n))
+    for a, b in edges_spec:
+        u, v = sorted((a % n, b % n))
+        if u != v:
+            graph.add_edge(u, v)
+    return graph
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=30),
+    st.lists(st.tuples(st.integers(0, 29), st.integers(0, 29)), max_size=80),
+)
+def test_both_assignments_always_valid(n, edges_spec):
+    """Property: generated priorities never violate a dependency."""
+    graph = _random_dag(edges_spec, n)
+    topo = assign_topological_priorities(graph)
+    r = assign_r_priorities(graph)
+    assert check_priorities(graph, topo) == []
+    assert check_priorities(graph, r) == []
+    assert distinct_priority_count(r) == n
+    assert distinct_priority_count(topo) <= distinct_priority_count(r)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=20),
+    st.lists(st.tuples(st.integers(0, 19), st.integers(0, 19)), max_size=40),
+)
+def test_topological_count_equals_depth(n, edges_spec):
+    graph = _random_dag(edges_spec, n)
+    topo = assign_topological_priorities(graph)
+    depth = nx.dag_longest_path_length(graph) + 1
+    assert distinct_priority_count(topo) == depth
+
+
+# -- enforcement on request DAGs -------------------------------------------------
+def _match(i):
+    return Match(eth_type=0x0800, ip_dst=IpPrefix(i, 32))
+
+
+def test_enforcement_rewrites_priorities():
+    dag = RequestDag()
+    parent = dag.new_request("s", FlowModCommand.ADD, _match(0), priority=123)
+    child = dag.new_request(
+        "s", FlowModCommand.ADD, _match(1), priority=456, after=[parent]
+    )
+    enforced = enforce_topological_priorities(dag, base=1000)
+    requests = {r.match.key(): r for r in enforced.requests}
+    assert requests[_match(0).key()].priority > requests[_match(1).key()].priority
+    assert requests[_match(1).key()].priority == 1000
+
+
+def test_enforcement_flat_dag_single_priority():
+    dag = RequestDag()
+    for i in range(6):
+        dag.new_request("s", FlowModCommand.ADD, _match(i), priority=i)
+    enforced = enforce_topological_priorities(dag)
+    priorities = {r.priority for r in enforced.requests}
+    assert len(priorities) == 1
+
+
+def test_enforcement_preserves_structure():
+    dag = RequestDag()
+    a = dag.new_request("s", FlowModCommand.ADD, _match(0))
+    b = dag.new_request("s", FlowModCommand.MODIFY, _match(1), after=[a])
+    enforced = enforce_topological_priorities(dag)
+    assert len(enforced) == 2
+    ready = enforced.independent_requests()
+    assert len(ready) == 1
+    assert ready[0].command is FlowModCommand.ADD

@@ -1,0 +1,94 @@
+"""Tests for the probing engine."""
+
+import pytest
+
+from repro.core.patterns import ProbePattern
+from repro.core.probing import ProbingEngine, probe_match, probe_packet
+from repro.openflow.channel import ControlChannel
+from repro.openflow.match import MatchKind
+from repro.openflow.messages import FlowModCommand
+from repro.sim.rng import SeededRng
+from repro.switches.profiles import make_cache_test_profile
+from repro.tables.policies import FIFO
+
+
+@pytest.fixture
+def engine():
+    switch = make_cache_test_profile(FIFO, layer_sizes=(8, None), layer_means_ms=(0.5, 3.0)).build(seed=1)
+    return ProbingEngine(ControlChannel(switch), rng=SeededRng(3).child("t"))
+
+
+def test_probe_match_packet_correspondence():
+    for kind in MatchKind:
+        for index in (0, 7, 500):
+            match = probe_match(index, kind)
+            packet = probe_packet(index)
+            assert match.matches_packet(packet)
+
+
+def test_probe_matches_are_disjoint():
+    a = probe_match(1, MatchKind.L3)
+    b = probe_match(2, MatchKind.L3)
+    assert not a.overlaps(b)
+
+
+def test_install_new_flow_tracks_handles(engine):
+    handle = engine.install_new_flow(priority=42)
+    assert engine.flows == [handle]
+    assert handle.priority == 42
+    assert engine.channel.switch.num_flows == 1
+
+
+def test_handles_get_unique_indices(engine):
+    first = engine.new_handle()
+    second = engine.new_handle()
+    assert first.index != second.index
+    assert first.match.key() != second.match.key()
+
+
+def test_send_probe_packet_measures_fast_path(engine):
+    handle = engine.install_new_flow()
+    rtt = engine.send_probe_packet(handle)
+    assert rtt < 1.5  # fast layer + channel
+
+
+def test_measure_rtt_alias(engine):
+    handle = engine.install_new_flow()
+    assert engine.measure_rtt(handle) < 1.5
+
+
+def test_select_random_from_installed(engine):
+    handles = [engine.install_new_flow() for _ in range(5)]
+    for _ in range(10):
+        assert engine.select_random() in handles
+
+
+def test_remove_all_flows(engine):
+    for _ in range(4):
+        engine.install_new_flow()
+    engine.remove_all_flows()
+    assert engine.flows == []
+    assert engine.channel.switch.num_flows == 0
+
+
+def test_apply_pattern_records_scores(engine):
+    handle = engine.new_handle()
+    pattern = ProbePattern(
+        name="demo",
+        flow_mods=(handle.flow_mod(FlowModCommand.ADD),),
+        traffic=(handle.packet,),
+    )
+    result = engine.apply_pattern(pattern)
+    assert result["install_ms"] > 0
+    assert len(result["rtts_ms"]) == 1
+    stored = engine.scores.get(engine.switch_name, "pattern_result", pattern="demo")
+    assert stored == result
+
+
+def test_measure_install_time_accumulates(engine):
+    handles = [engine.new_handle() for _ in range(3)]
+    total = engine.measure_install_time(
+        [h.flow_mod(FlowModCommand.ADD) for h in handles]
+    )
+    assert total > 0
+    assert engine.channel.switch.num_flows == 3

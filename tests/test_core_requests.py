@@ -1,0 +1,133 @@
+"""Tests for switch requests and the request DAG."""
+
+import pytest
+
+from repro.core.requests import RequestDag, SwitchRequest
+from repro.openflow.match import IpPrefix, Match
+from repro.openflow.messages import FlowModCommand
+
+
+def _match(i):
+    return Match(eth_type=0x0800, ip_dst=IpPrefix(i, 32))
+
+
+def _dag_with_chain(n=3):
+    dag = RequestDag()
+    previous = None
+    requests = []
+    for i in range(n):
+        request = dag.new_request(
+            location="s1",
+            command=FlowModCommand.ADD,
+            match=_match(i),
+            priority=i,
+            after=[previous] if previous else (),
+        )
+        requests.append(request)
+        previous = request
+    return dag, requests
+
+
+def test_new_request_assigns_unique_ids():
+    dag = RequestDag()
+    a = dag.new_request("s1", FlowModCommand.ADD, _match(1))
+    b = dag.new_request("s2", FlowModCommand.DELETE, _match(2))
+    assert a.request_id != b.request_id
+    assert len(dag) == 2
+
+
+def test_flow_mod_conversion():
+    dag = RequestDag()
+    request = dag.new_request(
+        "s1", FlowModCommand.ADD, _match(1), priority=7, install_by_ms=50.0
+    )
+    flow_mod = request.flow_mod()
+    assert flow_mod.command is FlowModCommand.ADD
+    assert flow_mod.priority == 7
+    assert flow_mod.install_by_ms == 50.0
+
+
+def test_duplicate_request_rejected():
+    dag = RequestDag()
+    request = dag.new_request("s1", FlowModCommand.ADD, _match(1))
+    with pytest.raises(ValueError):
+        dag.add_request(request)
+
+
+def test_cycle_rejected():
+    dag, requests = _dag_with_chain(2)
+    with pytest.raises(ValueError):
+        dag.add_dependency(requests[1], requests[0])
+    # The failed edge must not linger.
+    assert dag.independent_requests() == [requests[0]]
+
+
+def test_independent_requests_respect_dependencies():
+    dag, requests = _dag_with_chain(3)
+    assert dag.independent_requests() == [requests[0]]
+    dag.mark_done(requests[0])
+    assert dag.independent_requests() == [requests[1]]
+
+
+def test_mark_done_unknown_rejected():
+    dag = RequestDag()
+    other = RequestDag().new_request("s", FlowModCommand.ADD, _match(1))
+    with pytest.raises(KeyError):
+        dag.mark_done(other)
+
+
+def test_is_done_and_pending():
+    dag, requests = _dag_with_chain(2)
+    assert not dag.is_done()
+    assert len(dag.pending()) == 2
+    for request in requests:
+        dag.mark_done(request)
+    assert dag.is_done()
+    assert dag.pending() == []
+
+
+def test_reset_forgets_completion():
+    dag, requests = _dag_with_chain(2)
+    dag.mark_done(requests[0])
+    dag.reset()
+    assert dag.independent_requests() == [requests[0]]
+
+
+def test_dependencies_of():
+    dag, requests = _dag_with_chain(3)
+    assert dag.dependencies_of(requests[0]) == []
+    assert dag.dependencies_of(requests[2]) == [requests[1]]
+
+
+def test_critical_path_lengths():
+    dag, requests = _dag_with_chain(3)
+    lengths = dag.critical_path_lengths()
+    assert lengths[requests[0].request_id] == 3
+    assert lengths[requests[2].request_id] == 1
+
+
+def test_depth():
+    dag, _ = _dag_with_chain(4)
+    assert dag.depth() == 4
+    flat = RequestDag()
+    for i in range(5):
+        flat.new_request("s", FlowModCommand.ADD, _match(i))
+    assert flat.depth() == 1
+    assert RequestDag().depth() == 0
+
+
+def test_diamond_dependencies():
+    dag = RequestDag()
+    top = dag.new_request("s", FlowModCommand.ADD, _match(0))
+    left = dag.new_request("s", FlowModCommand.ADD, _match(1), after=[top])
+    right = dag.new_request("s", FlowModCommand.ADD, _match(2), after=[top])
+    bottom = dag.new_request("s", FlowModCommand.ADD, _match(3), after=[left, right])
+    dag.mark_done(top)
+    assert set(r.request_id for r in dag.independent_requests()) == {
+        left.request_id,
+        right.request_id,
+    }
+    dag.mark_done(left)
+    assert bottom not in dag.independent_requests()
+    dag.mark_done(right)
+    assert dag.independent_requests() == [bottom]

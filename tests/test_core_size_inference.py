@@ -1,0 +1,102 @@
+"""Tests for Algorithm 1 (flow-table size inference)."""
+
+import pytest
+
+from repro.core.probing import ProbingEngine
+from repro.core.size_inference import SizeProber
+from repro.openflow.channel import ControlChannel
+from repro.sim.rng import SeededRng
+from repro.switches.profiles import SWITCH_2, SWITCH_3, make_cache_test_profile
+from repro.tables.policies import FIFO, LFU, LRU, PRIORITY_CACHE
+
+
+def _prober(profile, seed=1, **kwargs):
+    switch = profile.build(seed=seed)
+    engine = ProbingEngine(ControlChannel(switch), rng=SeededRng(seed).child("size"))
+    return SizeProber(engine, **kwargs)
+
+
+def test_validation():
+    engine = _prober(make_cache_test_profile(FIFO, (8, None), layer_means_ms=(0.5, 3.0))).engine
+    with pytest.raises(ValueError):
+        SizeProber(engine, trials_per_level=0)
+    with pytest.raises(ValueError):
+        SizeProber(engine, max_rules=0)
+    with pytest.raises(ValueError):
+        SizeProber(engine, accuracy_target=1.5)
+
+
+def test_bounded_single_layer_exact():
+    """A TCAM-only switch: rejection reveals the exact size."""
+    prober = _prober(SWITCH_3, max_rules=2000)
+    result = prober.probe()
+    assert result.cache_full
+    assert result.num_layers == 1
+    assert result.layers[0].estimated_size == 767
+
+
+def test_switch2_exact():
+    prober = _prober(SWITCH_2, max_rules=4096)
+    result = prober.probe()
+    assert result.cache_full
+    assert result.layers[0].estimated_size == 2560
+
+
+def test_unbounded_switch_reports_unbounded_tail():
+    profile = make_cache_test_profile(FIFO, (64, None), layer_means_ms=(0.5, 3.0))
+    result = _prober(profile, max_rules=256).probe()
+    assert not result.cache_full
+    assert result.num_layers == 2
+    assert result.layers[-1].estimated_size is None
+
+
+@pytest.mark.parametrize("policy", [FIFO, LRU, LFU, PRIORITY_CACHE], ids=lambda p: p.name)
+def test_two_level_accuracy_within_5_percent(policy):
+    """The paper's headline: estimates within 5% of actual sizes."""
+    profile = make_cache_test_profile(policy, (64, None), layer_means_ms=(0.5, 3.0))
+    result = _prober(profile, max_rules=256, accuracy_target=0.02).probe()
+    estimate = result.layers[0].estimated_size
+    assert estimate is not None
+    assert abs(estimate - 64) / 64 <= 0.05
+
+
+def test_three_level_estimates_all_layers():
+    profile = make_cache_test_profile(FIFO, (32, 64, None), layer_means_ms=(0.5, 2.5, 4.8))
+    result = _prober(profile, max_rules=256, accuracy_target=0.03).probe()
+    assert result.num_layers == 3
+    assert abs(result.layers[0].estimated_size - 32) <= 4
+    assert abs(result.layers[1].estimated_size - 64) <= 7
+    assert result.layers[2].estimated_size is None
+
+
+def test_bounded_two_level_last_layer_from_remainder():
+    profile = make_cache_test_profile(FIFO, (16, 48), layer_means_ms=(0.5, 3.0))
+    result = _prober(profile, max_rules=256, accuracy_target=0.03).probe()
+    assert result.cache_full
+    assert result.total_rules_installed == 64
+    assert sum(l.estimated_size for l in result.layers) == 64
+    assert abs(result.layers[0].estimated_size - 16) <= 2
+
+
+def test_probe_cost_is_linear():
+    """Asymptotic optimality: packets O(n), installs n (+1 rejected)."""
+    profile = make_cache_test_profile(FIFO, (64, None), layer_means_ms=(0.5, 3.0))
+    prober = _prober(profile, max_rules=512, accuracy_target=0.05)
+    result = prober.probe()
+    assert result.rules_sent <= 513
+    assert result.packets_sent <= prober.packet_budget_factor * 512 + 3 * 512
+
+
+def test_result_stored_in_score_db():
+    prober = _prober(SWITCH_3, max_rules=1024)
+    result = prober.probe()
+    stored = prober.engine.scores.get("switch3", "size_probe")
+    assert stored is result
+
+
+def test_doubling_batches_fill():
+    profile = make_cache_test_profile(FIFO, (16, None), layer_means_ms=(0.5, 3.0))
+    prober = _prober(profile, max_rules=64, initial_batch=4)
+    result = prober.probe()
+    assert result.total_rules_installed == 64
+    assert not result.cache_full

@@ -1,0 +1,115 @@
+"""The paper's Figure 7 / Algorithm 3 worked example.
+
+Section 6 walks through one scheduling round: the current independent
+set holds one deletion, one modification, and two additions; pattern 1
+(``DEL MOD ASCEND_ADD``) scores -91 = -(10*1 + 1*1 + 20*2^2), pattern 2
+(descending adds, weight 40) scores -171, so the scheduler picks pattern
+1 and issues the four requests deletions-first with the additions in
+ascending priority -- the order "I, H, E, A" in the paper's notation.
+"""
+
+import pytest
+
+from repro.core.patterns import default_rewrite_patterns
+from repro.core.requests import RequestDag
+from repro.core.scheduler import BasicTangoScheduler, NetworkExecutor, count_commands
+from repro.openflow.channel import ControlChannel
+from repro.openflow.match import IpPrefix, Match
+from repro.openflow.messages import FlowModCommand
+from repro.sim.latency import ConstantLatency
+from repro.switches.base import ControlCostModel, SimulatedSwitch
+from repro.tables.policies import FIFO
+from repro.tables.stack import TableLayer
+
+
+def _switch(name):
+    return SimulatedSwitch(
+        name=name,
+        layers=[TableLayer("t", capacity=None)],
+        policy=FIFO,
+        layer_delays=[ConstantLatency(0.5)],
+        control_path_delay=ConstantLatency(5.0),
+        cost_model=ControlCostModel(
+            add_base_ms=1.0,
+            shift_ms=0.01,
+            priority_group_ms=0.0,
+            mod_ms=0.5,
+            del_ms=0.4,
+            jitter_std_frac=0.0,
+        ),
+        seed=1,
+    )
+
+
+def _match(i):
+    return Match(eth_type=0x0800, ip_dst=IpPrefix(i, 32))
+
+
+@pytest.fixture
+def figure7():
+    """A multi-switch DAG shaped like Figure 7's first round.
+
+    Independent set: I (S1 DEL), H (S1 MOD), E (S1 ADD p1244),
+    A (S1 ADD p1334).  Dependents across S1/S2/S4 unlock afterwards.
+    """
+    dag = RequestDag()
+    requests = {}
+    requests["I"] = dag.new_request("s1", FlowModCommand.DELETE, _match(1), priority=2001)
+    requests["H"] = dag.new_request("s1", FlowModCommand.MODIFY, _match(2), priority=2330)
+    requests["E"] = dag.new_request("s1", FlowModCommand.ADD, _match(3), priority=1244)
+    requests["A"] = dag.new_request("s1", FlowModCommand.ADD, _match(4), priority=1334)
+    requests["B"] = dag.new_request(
+        "s1", FlowModCommand.ADD, _match(5), priority=2345, after=[requests["I"]]
+    )
+    requests["C"] = dag.new_request(
+        "s2", FlowModCommand.MODIFY, _match(6), priority=2334, after=[requests["A"]]
+    )
+    requests["F"] = dag.new_request(
+        "s1", FlowModCommand.DELETE, _match(7), priority=1070, after=[requests["E"]]
+    )
+    requests["G"] = dag.new_request(
+        "s4", FlowModCommand.MODIFY, _match(8), priority=2330, after=[requests["H"]]
+    )
+    requests["J"] = dag.new_request(
+        "s1", FlowModCommand.ADD, _match(9), priority=2350, after=[requests["I"]]
+    )
+    return dag, requests
+
+
+def test_pattern_scores_match_paper_arithmetic(figure7):
+    dag, requests = figure7
+    independent = dag.independent_requests()
+    counts = count_commands(independent)
+    assert counts == {
+        FlowModCommand.DELETE: 1,
+        FlowModCommand.MODIFY: 1,
+        FlowModCommand.ADD: 2,
+    }
+    ascending, descending = default_rewrite_patterns()
+    assert ascending.score_counts(counts) == -91
+    assert descending.score_counts(counts) == -171
+
+
+def test_first_round_issue_order_is_i_h_e_a(figure7):
+    dag, requests = figure7
+    executor = NetworkExecutor(
+        {name: ControlChannel(_switch(name)) for name in ("s1", "s2", "s4")}
+    )
+    result = BasicTangoScheduler(executor).schedule(dag)
+    first_round = [r.request.request_id for r in result.records[:4]]
+    expected = [requests[k].request_id for k in ("I", "H", "E", "A")]
+    assert first_round == expected
+    assert result.pattern_choices[0] == "DEL MOD ASCEND_ADD"
+
+
+def test_all_nine_requests_complete_respecting_dependencies(figure7):
+    dag, requests = figure7
+    executor = NetworkExecutor(
+        {name: ControlChannel(_switch(name)) for name in ("s1", "s2", "s4")}
+    )
+    result = BasicTangoScheduler(executor).schedule(dag)
+    assert result.total_requests == 9
+    finish = {r.request.request_id: r.finished_ms for r in result.records}
+    start = {r.request.request_id: r.started_ms for r in result.records}
+    for parent_key, child_key in (("I", "B"), ("A", "C"), ("E", "F"), ("H", "G"), ("I", "J")):
+        assert start[requests[child_key].request_id] >= finish[requests[parent_key].request_id]

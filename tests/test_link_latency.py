@@ -1,0 +1,63 @@
+"""Tests for link propagation latency in topologies and tracing."""
+
+import pytest
+
+from repro.netem.audit import probes_for_flows
+from repro.netem.network import EmulatedNetwork
+from repro.netem.topology import Topology, b4_topology
+from repro.netem.tracing import TraceOutcome, trace_packet
+from repro.switches.profiles import OVS_PROFILE
+
+
+def _line(latency_ms):
+    topology = Topology("line")
+    for name in ("a", "b", "c"):
+        topology.add_switch(name)
+    topology.add_link("a", "b", latency_ms=latency_ms)
+    topology.add_link("b", "c", latency_ms=latency_ms)
+    return topology
+
+
+def test_link_latency_validated():
+    topology = Topology("t")
+    topology.add_switch("a")
+    topology.add_switch("b")
+    with pytest.raises(ValueError):
+        topology.add_link("a", "b", latency_ms=-1.0)
+
+
+def test_link_latency_accessor():
+    topology = _line(7.5)
+    assert topology.link_latency_ms("a", "b") == 7.5
+    assert topology.link_latency_ms("b", "a") == 7.5  # undirected
+
+
+def test_b4_links_have_wan_latency():
+    topology = b4_topology()
+    a, b = topology.links[0]
+    assert topology.link_latency_ms(a, b) == 10.0
+
+
+def test_trace_total_includes_link_latency():
+    fast_links = EmulatedNetwork(_line(0.0), default_profile=OVS_PROFILE, seed=1)
+    slow_links = EmulatedNetwork(_line(10.0), default_profile=OVS_PROFILE, seed=1)
+    results = {}
+    for label, network in (("fast", fast_links), ("slow", slow_links)):
+        flow = network.new_flow("a", "c")
+        network.preinstall_flow_rules()
+        probe = probes_for_flows(network, [flow])[0]
+        trace = trace_packet(network, probe.packet, "a")
+        assert trace.outcome is TraceOutcome.DELIVERED
+        results[label] = trace.total_delay_ms
+    # Two traversed links at 10 ms each.
+    assert results["slow"] - results["fast"] == pytest.approx(20.0, abs=1.5)
+
+
+def test_delivery_hop_has_no_link_delay():
+    network = EmulatedNetwork(_line(10.0), default_profile=OVS_PROFILE, seed=1)
+    flow = network.new_flow("a", "c")
+    network.preinstall_flow_rules()
+    probe = probes_for_flows(network, [flow])[0]
+    trace = trace_packet(network, probe.packet, "a")
+    assert trace.hops[-1].link_ms == 0.0
+    assert trace.hops[0].link_ms == 10.0

@@ -1,0 +1,181 @@
+"""Tests for the emulated network and scenario generators."""
+
+import pytest
+
+from repro.core.scheduler import BasicTangoScheduler
+from repro.netem.consistency import (
+    add_forward_path_dependencies,
+    add_reverse_path_dependencies,
+)
+from repro.netem.network import EmulatedNetwork
+from repro.netem.scenarios import (
+    LinkFailureScenario,
+    TrafficEngineeringScenario,
+)
+from repro.netem.topology import b4_topology, triangle_topology
+from repro.core.requests import RequestDag
+from repro.openflow.messages import FlowModCommand
+from repro.openflow.match import IpPrefix, Match
+from repro.switches.profiles import OVS_PROFILE
+from repro.workloads.traffic import uniform_traffic_matrix
+from repro.sim.rng import SeededRng
+
+
+def _network(topology=None):
+    return EmulatedNetwork(topology or triangle_topology(), default_profile=OVS_PROFILE, seed=1)
+
+
+def _match(i):
+    return Match(eth_type=0x0800, ip_dst=IpPrefix(i, 32))
+
+
+# -- EmulatedNetwork ---------------------------------------------------------------
+def test_network_builds_one_switch_per_node():
+    network = _network()
+    assert set(network.switches) == {"s1", "s2", "s3"}
+    assert network.switches["s1"].name == "s1"
+
+
+def test_new_flow_uses_shortest_path():
+    network = _network()
+    flow = network.new_flow("s1", "s2")
+    assert flow.path == ["s1", "s2"]
+    assert flow.flow_id in network.flows
+
+
+def test_preinstall_flow_rules_counts():
+    network = _network()
+    network.new_flow("s1", "s2")
+    network.new_flow("s1", "s3")
+    assert network.preinstall_flow_rules() == 4
+    assert network.switches["s1"].num_flows == 2
+
+
+def test_reset_rules():
+    network = _network()
+    network.new_flow("s1", "s2")
+    network.preinstall_flow_rules()
+    network.reset_rules()
+    assert all(s.num_flows == 0 for s in network.switches.values())
+
+
+# -- consistency helpers --------------------------------------------------------------
+def test_reverse_path_dependencies_force_egress_first():
+    dag = RequestDag()
+    ingress = dag.new_request("s1", FlowModCommand.ADD, _match(1))
+    egress = dag.new_request("s2", FlowModCommand.ADD, _match(1))
+    add_reverse_path_dependencies(dag, [ingress, egress])
+    assert dag.independent_requests() == [egress]
+
+
+def test_forward_path_dependencies_force_ingress_first():
+    dag = RequestDag()
+    ingress = dag.new_request("s1", FlowModCommand.DELETE, _match(1))
+    egress = dag.new_request("s2", FlowModCommand.DELETE, _match(1))
+    add_forward_path_dependencies(dag, [ingress, egress])
+    assert dag.independent_requests() == [ingress]
+
+
+# -- link failure -----------------------------------------------------------------------
+def test_link_failure_reroutes_affected_flows():
+    network = _network()
+    for _ in range(5):
+        network.new_flow("s1", "s2")
+    unaffected = network.new_flow("s1", "s3")
+    network.preinstall_flow_rules()
+
+    scenario = LinkFailureScenario(network, ("s1", "s2"))
+    assert len(scenario.affected_flows()) == 5
+    result = scenario.build_dag()
+    # Each rerouted flow: ADD at s3 (new hop) + MODIFY at s1 (repoint).
+    assert result.adds == 5
+    assert result.mods == 5
+    assert result.dels == 0
+    # Flows now recorded on the detour path.
+    assert all(f.path == ["s1", "s3", "s2"] for f in scenario.affected_flows())
+
+
+def test_link_failure_dag_orders_detour_before_repoint():
+    network = _network()
+    network.new_flow("s1", "s2")
+    network.preinstall_flow_rules()
+    result = LinkFailureScenario(network, ("s1", "s2")).build_dag()
+    ready = result.dag.independent_requests()
+    assert len(ready) == 1
+    assert ready[0].location == "s3"
+    assert ready[0].command is FlowModCommand.ADD
+
+
+def test_link_failure_dag_schedulable():
+    network = _network()
+    for _ in range(10):
+        network.new_flow("s1", "s2")
+    network.preinstall_flow_rules()
+    result = LinkFailureScenario(network, ("s1", "s2")).build_dag()
+    out = BasicTangoScheduler(network.executor()).schedule(result.dag)
+    assert out.total_requests == result.total
+
+
+# -- TE random mix -------------------------------------------------------------------------
+def test_random_mix_counts_and_levels():
+    network = _network()
+    scenario = TrafficEngineeringScenario(network, seed=4)
+    result = scenario.random_mix(100, mix=(0.5, 0.25, 0.25), dag_levels=2)
+    assert result.total == 100
+    assert result.adds == 50
+    assert result.mods == 25
+    assert result.dels == 25
+    assert result.dag.depth() == 2
+
+
+def test_random_mix_preinstall_covers_mod_del():
+    network = _network()
+    scenario = TrafficEngineeringScenario(network, seed=4)
+    result = scenario.random_mix(40, mix=(0.5, 0.25, 0.25))
+    assert len(result.preinstall) == result.mods + result.dels
+    result.apply_preinstall(network)
+    total_rules = sum(s.num_flows for s in network.switches.values())
+    assert total_rules == result.mods + result.dels
+
+
+def test_random_mix_same_priorities_mode():
+    network = _network()
+    scenario = TrafficEngineeringScenario(network, seed=4)
+    result = scenario.random_mix(30, mix=(1.0, 0.0, 0.0), priorities="same")
+    priorities = {r.priority for r in result.dag.requests}
+    assert priorities == {100}
+
+
+def test_random_mix_validates_inputs():
+    scenario = TrafficEngineeringScenario(_network(), seed=1)
+    with pytest.raises(ValueError):
+        scenario.random_mix(10, mix=(0.9, 0.3, 0.1))
+    with pytest.raises(ValueError):
+        scenario.random_mix(10, dag_levels=0)
+
+
+# -- TE from traffic matrices ------------------------------------------------------------------
+def test_te_matrices_generate_all_three_request_kinds():
+    network = _network(b4_topology())
+    rng = SeededRng(8).child("tm")
+    nodes = network.topology.switches
+    before = uniform_traffic_matrix(nodes, total_demand=100.0, rng=rng, sparsity=0.3)
+    after = uniform_traffic_matrix(nodes, total_demand=120.0, rng=rng, sparsity=0.3)
+    scenario = TrafficEngineeringScenario(network, seed=2)
+    result = scenario.from_traffic_matrices(before, after)
+    assert result.adds > 0
+    assert result.dels > 0
+    assert result.mods > 0
+    assert len(result.dag) == result.total
+
+
+def test_te_matrices_dag_schedulable():
+    network = _network(b4_topology())
+    rng = SeededRng(9).child("tm")
+    nodes = network.topology.switches
+    before = uniform_traffic_matrix(nodes, 50.0, rng, sparsity=0.15)
+    after = uniform_traffic_matrix(nodes, 60.0, rng, sparsity=0.15)
+    scenario = TrafficEngineeringScenario(network, seed=2)
+    result = scenario.from_traffic_matrices(before, after)
+    out = BasicTangoScheduler(network.executor()).schedule(result.dag)
+    assert out.total_requests == result.total

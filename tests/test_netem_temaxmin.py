@@ -1,0 +1,121 @@
+"""Tests for max-min fair allocation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netem.flows import NetworkFlow
+from repro.netem.temaxmin import max_min_fair_allocation
+from repro.netem.topology import Topology, triangle_topology
+
+
+def _line_topology(capacity=10.0):
+    topology = Topology("line")
+    for name in ("a", "b", "c"):
+        topology.add_switch(name)
+    topology.add_link("a", "b", capacity=capacity)
+    topology.add_link("b", "c", capacity=capacity)
+    return topology
+
+
+def _flow(fid, path, demand):
+    return NetworkFlow(flow_id=fid, src=path[0], dst=path[-1], path=path, demand=demand)
+
+
+def test_unconstrained_flows_get_their_demand():
+    topology = _line_topology(capacity=100.0)
+    flows = [_flow(1, ["a", "b"], 3.0), _flow(2, ["b", "c"], 5.0)]
+    allocation = max_min_fair_allocation(topology, flows)
+    assert allocation[1] == pytest.approx(3.0)
+    assert allocation[2] == pytest.approx(5.0)
+
+
+def test_bottleneck_shared_equally():
+    topology = _line_topology(capacity=10.0)
+    flows = [_flow(i, ["a", "b"], 100.0) for i in range(4)]
+    allocation = max_min_fair_allocation(topology, flows)
+    for fid in range(4):
+        assert allocation[fid] == pytest.approx(2.5)
+
+
+def test_small_demand_frees_capacity_for_others():
+    topology = _line_topology(capacity=10.0)
+    flows = [_flow(1, ["a", "b"], 1.0), _flow(2, ["a", "b"], 100.0)]
+    allocation = max_min_fair_allocation(topology, flows)
+    assert allocation[1] == pytest.approx(1.0)
+    assert allocation[2] == pytest.approx(9.0)
+
+
+def test_multi_hop_flow_limited_by_worst_link():
+    topology = Topology("line2")
+    for name in ("a", "b", "c"):
+        topology.add_switch(name)
+    topology.add_link("a", "b", capacity=10.0)
+    topology.add_link("b", "c", capacity=2.0)
+    flows = [_flow(1, ["a", "b", "c"], 100.0)]
+    allocation = max_min_fair_allocation(topology, flows)
+    assert allocation[1] == pytest.approx(2.0)
+
+
+def test_unknown_link_rejected():
+    topology = _line_topology()
+    bad = _flow(1, ["a", "c"], 1.0)  # a-c link does not exist
+    with pytest.raises(ValueError):
+        max_min_fair_allocation(topology, [bad])
+
+
+def test_empty_flow_list():
+    assert max_min_fair_allocation(_line_topology(), []) == {}
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from([("s1", "s2"), ("s2", "s3"), ("s1", "s3")]),
+            st.floats(min_value=0.1, max_value=50.0),
+        ),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_allocation_properties(flow_specs):
+    """Properties: no link over capacity, no flow over demand, non-negative."""
+    topology = triangle_topology()
+    flows = []
+    for fid, (pair, demand) in enumerate(flow_specs):
+        path = topology.shortest_path(pair[0], pair[1])
+        flows.append(_flow(fid, path, demand))
+    allocation = max_min_fair_allocation(topology, flows)
+
+    assert set(allocation) == {f.flow_id for f in flows}
+    for flow in flows:
+        assert -1e-9 <= allocation[flow.flow_id] <= flow.demand + 1e-9
+
+    link_usage = {}
+    for flow in flows:
+        for link in flow.links():
+            link_usage[link] = link_usage.get(link, 0.0) + allocation[flow.flow_id]
+    for link, used in link_usage.items():
+        assert used <= topology.capacity(*link) + 1e-6
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(st.floats(min_value=0.5, max_value=30.0), min_size=2, max_size=8)
+)
+def test_max_min_fairness_property(demands):
+    """No flow can gain without hurting an equal-or-smaller allocation.
+
+    On a single shared link this means: every unsatisfied flow receives
+    at least as much as any other flow could claim (the classic
+    water-filling characterisation).
+    """
+    topology = _line_topology(capacity=10.0)
+    flows = [_flow(i, ["a", "b"], d) for i, d in enumerate(demands)]
+    allocation = max_min_fair_allocation(topology, flows)
+    unsatisfied = [f for f in flows if allocation[f.flow_id] < f.demand - 1e-9]
+    if unsatisfied:
+        floor = min(allocation[f.flow_id] for f in unsatisfied)
+        assert all(allocation[f.flow_id] <= floor + 1e-6 for f in unsatisfied)
+        # Link is saturated.
+        assert sum(allocation.values()) == pytest.approx(10.0)

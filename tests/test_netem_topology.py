@@ -1,0 +1,76 @@
+"""Tests for topologies and flows."""
+
+import pytest
+
+from repro.netem.flows import NetworkFlow
+from repro.netem.topology import Topology, b4_topology, triangle_topology
+
+
+def test_triangle_shape():
+    topology = triangle_topology()
+    assert len(topology.switches) == 3
+    assert len(topology.links) == 3
+    assert topology.shortest_path("s1", "s2") == ["s1", "s2"]
+
+
+def test_b4_shape():
+    """Google's B4: 12 sites, 19 links."""
+    topology = b4_topology()
+    assert len(topology.switches) == 12
+    assert len(topology.links) == 19
+
+
+def test_b4_is_connected():
+    import networkx as nx
+
+    assert nx.is_connected(b4_topology().graph)
+
+
+def test_capacity_validation():
+    topology = Topology("t")
+    topology.add_switch("a")
+    topology.add_switch("b")
+    with pytest.raises(ValueError):
+        topology.add_link("a", "b", capacity=0)
+
+
+def test_remove_link_changes_paths():
+    topology = triangle_topology()
+    assert topology.shortest_path("s1", "s2") == ["s1", "s2"]
+    topology.remove_link("s1", "s2")
+    assert topology.shortest_path("s1", "s2") == ["s1", "s3", "s2"]
+
+
+def test_copy_is_independent():
+    topology = triangle_topology()
+    clone = topology.copy()
+    clone.remove_link("s1", "s2")
+    assert len(topology.links) == 3
+    assert len(clone.links) == 2
+
+
+def test_k_shortest_paths():
+    topology = triangle_topology()
+    paths = topology.k_shortest_paths("s1", "s2", k=2)
+    assert paths[0] == ["s1", "s2"]
+    assert paths[1] == ["s1", "s3", "s2"]
+
+
+def test_flow_validation():
+    with pytest.raises(ValueError):
+        NetworkFlow(flow_id=1, src="a", dst="b", path=["a", "c"])
+    with pytest.raises(ValueError):
+        NetworkFlow(flow_id=1, src="a", dst="b", path=[])
+
+
+def test_flow_links_are_sorted_pairs():
+    flow = NetworkFlow(flow_id=1, src="a", dst="c", path=["a", "b", "c"])
+    assert flow.links() == [("a", "b"), ("b", "c")]
+    reverse = NetworkFlow(flow_id=2, src="c", dst="a", path=["c", "b", "a"])
+    assert reverse.links() == [("b", "c"), ("a", "b")]
+
+
+def test_flow_match_unique_per_flow():
+    a = NetworkFlow(flow_id=1, src="a", dst="a", path=["a"])
+    b = NetworkFlow(flow_id=2, src="a", dst="a", path=["a"])
+    assert a.match().key() != b.match().key()

@@ -1,0 +1,79 @@
+"""Tests for the Tango pattern database and rewrite-pattern mechanics."""
+
+import pytest
+
+from repro.core.patterns import (
+    ProbePattern,
+    TangoPatternDatabase,
+    default_rewrite_patterns,
+    make_del_mod_add_pattern,
+    make_type_only_pattern,
+)
+from repro.openflow.messages import FlowModCommand
+
+
+def test_database_starts_with_default_rewrites():
+    db = TangoPatternDatabase()
+    names = {p.name for p in db.rewrite_patterns}
+    assert names == {"DEL MOD ASCEND_ADD", "DEL MOD DESCEND_ADD"}
+
+
+def test_probe_pattern_registration_roundtrip():
+    db = TangoPatternDatabase()
+    pattern = ProbePattern(name="size-probe", description="doubling fill")
+    db.register_probe(pattern)
+    assert db.get_probe("size-probe") is pattern
+    assert pattern in db.probe_patterns
+
+
+def test_unknown_probe_pattern_raises():
+    with pytest.raises(KeyError):
+        TangoPatternDatabase().get_probe("nope")
+
+
+def test_rewrite_registration_overwrites_by_name():
+    db = TangoPatternDatabase()
+    replacement = make_del_mod_add_pattern(
+        "DEL MOD ASCEND_ADD", add_weight=99.0, ascending_adds=True
+    )
+    db.register_rewrite(replacement)
+    assert db.get_rewrite("DEL MOD ASCEND_ADD") is replacement
+    assert len(db.rewrite_patterns) == 2
+
+
+def test_order_key_groups_commands_del_mod_add():
+    pattern = default_rewrite_patterns()[0]
+    del_key = pattern.order_key(FlowModCommand.DELETE, 100)
+    mod_key = pattern.order_key(FlowModCommand.MODIFY, 1)
+    add_key = pattern.order_key(FlowModCommand.ADD, 1)
+    assert del_key < mod_key < add_key
+
+
+def test_ascending_vs_descending_priority_keys():
+    ascending, descending = default_rewrite_patterns()
+    assert ascending.order_key(FlowModCommand.ADD, 1) < ascending.order_key(
+        FlowModCommand.ADD, 9
+    )
+    assert descending.order_key(FlowModCommand.ADD, 9) < descending.order_key(
+        FlowModCommand.ADD, 1
+    )
+
+
+def test_type_only_pattern_ignores_priority():
+    pattern = make_type_only_pattern()
+    assert pattern.order_key(FlowModCommand.ADD, 1) == pattern.order_key(
+        FlowModCommand.ADD, 999
+    )
+
+
+def test_score_is_monotone_in_counts():
+    pattern = default_rewrite_patterns()[0]
+    fewer = pattern.score_counts({FlowModCommand.ADD: 2})
+    more = pattern.score_counts({FlowModCommand.ADD: 5})
+    assert more < fewer  # more adds -> worse (more negative) score
+
+
+def test_quadratic_add_term():
+    pattern = make_del_mod_add_pattern("x", add_weight=1.0, del_weight=0, mod_weight=0)
+    assert pattern.score_counts({FlowModCommand.ADD: 3}) == -9
+    assert pattern.score_counts({FlowModCommand.ADD: 0}) == 0

@@ -1,0 +1,81 @@
+"""Failure injection: inference under probe loss.
+
+A real controller-switch channel drops packets; the probing engine
+retransmits, and the inference results must survive a few percent loss.
+"""
+
+import pytest
+
+from repro.core.policy_inference import PolicyProber
+from repro.core.probing import ProbingEngine
+from repro.core.size_inference import SizeProber
+from repro.openflow.channel import ControlChannel
+from repro.openflow.match import PacketFields
+from repro.openflow.messages import PacketOut
+from repro.sim.rng import SeededRng
+from repro.switches.profiles import make_cache_test_profile
+from repro.tables.entry import FlowAttribute
+from repro.tables.policies import LRU, FIFO, Direction
+
+
+def _lossy_engine(policy, loss, seed=5, layer_sizes=(64, None), means=(0.5, 3.0)):
+    profile = make_cache_test_profile(policy, layer_sizes, layer_means_ms=means)
+    switch = profile.build(seed=seed)
+    channel = ControlChannel(
+        switch,
+        probe_loss_probability=loss,
+        rng=SeededRng(seed).child("lossy-channel"),
+    )
+    return ProbingEngine(channel, rng=SeededRng(seed).child("lossy-probe"))
+
+
+def test_loss_probability_validated():
+    profile = make_cache_test_profile(FIFO, (8, None), layer_means_ms=(0.5, 3.0))
+    with pytest.raises(ValueError):
+        ControlChannel(profile.build(seed=1), probe_loss_probability=1.5)
+
+
+def test_lost_probe_reports_timeout():
+    profile = make_cache_test_profile(FIFO, (8, None), layer_means_ms=(0.5, 3.0))
+    channel = ControlChannel(
+        profile.build(seed=1),
+        probe_loss_probability=0.999,
+        rng=SeededRng(1).child("c"),
+    )
+    rtt = channel.send_packet_out(PacketOut(PacketFields(ip_dst=1)))
+    assert rtt == ControlChannel.LOSS_TIMEOUT_MS
+    assert channel.probes_lost == 1
+
+
+def test_measure_rtt_retries_through_loss():
+    engine = _lossy_engine(FIFO, loss=0.5, seed=2)
+    handle = engine.install_new_flow()
+    # With 50% loss and 3 retries the vast majority of measurements land.
+    rtts = [engine.measure_rtt(handle, retries=5) for _ in range(50)]
+    clean = [r for r in rtts if r < ControlChannel.LOSS_TIMEOUT_MS]
+    assert len(clean) >= 45
+    assert all(r < 2.0 for r in clean)
+
+
+def test_size_inference_survives_two_percent_loss():
+    engine = _lossy_engine(FIFO, loss=0.02, seed=3)
+    result = SizeProber(engine, max_rules=256, accuracy_target=0.02).probe()
+    assert result.num_layers == 2
+    estimate = result.layers[0].estimated_size
+    assert abs(estimate - 64) / 64 <= 0.08
+
+
+def test_policy_inference_survives_two_percent_loss():
+    engine = _lossy_engine(
+        LRU, loss=0.02, seed=4, layer_sizes=(64, 128, None), means=(0.5, 2.5, 4.8)
+    )
+    result = PolicyProber(engine, cache_size=64).probe()
+    assert result.terms[0] == (FlowAttribute.USE_TIME, Direction.INCREASING)
+
+
+def test_lossless_channel_never_counts_losses():
+    engine = _lossy_engine(FIFO, loss=0.0, seed=6)
+    handle = engine.install_new_flow()
+    for _ in range(20):
+        engine.measure_rtt(handle)
+    assert engine.channel.probes_lost == 0

@@ -1,0 +1,81 @@
+"""Scalability guard tests.
+
+These don't measure wall time (flaky); they bound the *algorithmic*
+footprint of the hot paths so an accidental O(n^2) regression (e.g. a
+per-edge cycle check in bulk DAG construction) fails loudly via the
+simulated-operation counters instead of silently slowing the benches.
+"""
+
+import time
+
+import pytest
+
+from repro.core.requests import RequestDag
+from repro.core.scheduler import BasicTangoScheduler, NetworkExecutor
+from repro.openflow.channel import ControlChannel
+from repro.openflow.match import IpPrefix, Match
+from repro.openflow.messages import FlowMod, FlowModCommand
+from repro.sim.latency import ConstantLatency
+from repro.switches.base import ControlCostModel, SimulatedSwitch
+from repro.tables.policies import FIFO
+from repro.tables.stack import TableLayer
+
+
+def _fast_switch(name="sw"):
+    return SimulatedSwitch(
+        name=name,
+        layers=[TableLayer("t", capacity=None)],
+        policy=FIFO,
+        layer_delays=[ConstantLatency(0.5)],
+        control_path_delay=ConstantLatency(5.0),
+        cost_model=ControlCostModel(
+            add_base_ms=0.1,
+            shift_ms=0.0,
+            priority_group_ms=0.0,
+            mod_ms=0.1,
+            del_ms=0.1,
+            jitter_std_frac=0.0,
+        ),
+        seed=1,
+    )
+
+
+def _match(i):
+    return Match(eth_type=0x0800, ip_dst=IpPrefix(i, 32))
+
+
+def test_bulk_dag_construction_with_many_edges_is_fast():
+    """4000 requests with 4000 chained edges must build in well under a
+    second (the per-edge acyclicity check would take minutes)."""
+    start = time.time()
+    dag = RequestDag()
+    previous = None
+    for i in range(4000):
+        request = dag.new_request("sw", FlowModCommand.ADD, _match(i), priority=1)
+        if previous is not None:
+            dag.add_dependency(previous, request, check_cycle=False)
+        previous = request
+    dag.validate_acyclic()
+    assert time.time() - start < 2.0
+    assert dag.depth() == 4000
+
+
+def test_scheduler_handles_thousands_of_flat_requests():
+    dag = RequestDag()
+    for i in range(3000):
+        dag.new_request("sw", FlowModCommand.ADD, _match(i), priority=i + 1)
+    executor = NetworkExecutor({"sw": ControlChannel(_fast_switch())})
+    start = time.time()
+    result = BasicTangoScheduler(executor).schedule(dag)
+    assert time.time() - start < 10.0
+    assert result.total_requests == 3000
+    assert result.rounds == 1
+
+
+def test_switch_absorbs_tens_of_thousands_of_rules():
+    switch = _fast_switch()
+    start = time.time()
+    for i in range(20_000):
+        switch.apply_flow_mod(FlowMod(FlowModCommand.ADD, _match(i), priority=100))
+    assert switch.num_flows == 20_000
+    assert time.time() - start < 10.0

@@ -1,0 +1,72 @@
+"""Property tests for mixed-width TCAM geometry in the table stack."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.openflow.actions import OutputAction
+from repro.openflow.errors import TableFullError
+from repro.openflow.match import IpPrefix, Match
+from repro.tables.policies import FIFO
+from repro.tables.stack import RankedTableStack, TableLayer
+from repro.tables.tcam import TcamGeometry, TcamMode
+
+ACTIONS = (OutputAction(1),)
+
+
+def _match(i, wide):
+    if wide:
+        return Match(eth_dst=i, eth_type=0x0800, ip_dst=IpPrefix(i, 32))
+    return Match(eth_type=0x0800, ip_dst=IpPrefix(i, 32))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=12),  # slot units
+    st.floats(min_value=1.0, max_value=3.0),  # wide cost
+    st.lists(st.booleans(), min_size=1, max_size=30),  # insert widths
+)
+def test_tcam_slot_budget_never_exceeded(slots, wide_cost, widths):
+    """Invariant: the sum of slot costs of layer-0 residents never
+    exceeds the TCAM's physical slot budget, for any insert mix."""
+    geometry = TcamGeometry(
+        slot_units=slots, mode=TcamMode.ADAPTIVE, wide_cost=wide_cost
+    )
+    stack = RankedTableStack(
+        [TableLayer("tcam", geometry=geometry), TableLayer("sw", capacity=None)],
+        FIFO,
+    )
+    entries = []
+    for index, wide in enumerate(widths):
+        entries.append(stack.insert(_match(index, wide), 1, ACTIONS, float(index)))
+    occupancy = stack.layer_occupancy()
+    assert occupancy[0] + occupancy[1] == len(entries)
+    used = sum(
+        geometry.entry_cost(e.match.kind)
+        for e in entries
+        if stack.layer_of(e) == 0
+    )
+    assert used <= slots + 1e-9
+    # FIFO: every layer-1 resident is newer than every layer-0 resident
+    # only when costs are uniform; with mixed widths, a wide entry can
+    # overflow while a later narrow one fits -- but ranks are preserved:
+    ranks = [stack.rank_of(e) for e in entries]
+    assert ranks == sorted(ranks)  # FIFO order == insertion order
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=10),
+    st.lists(st.booleans(), min_size=1, max_size=25),
+)
+def test_bounded_geometry_rejections_are_consistent(slots, widths):
+    """A rejected add means the candidate genuinely did not fit."""
+    geometry = TcamGeometry(slot_units=slots, mode=TcamMode.ADAPTIVE, wide_cost=2.0)
+    stack = RankedTableStack([TableLayer("tcam", geometry=geometry)], FIFO)
+    used = 0.0
+    for index, wide in enumerate(widths):
+        cost = 2.0 if wide else 1.0
+        try:
+            stack.insert(_match(index, wide), 1, ACTIONS, float(index))
+            used += cost
+        except TableFullError:
+            assert used + cost > slots
+    assert used <= slots

@@ -1,0 +1,119 @@
+"""Property-based tests of whole-switch invariants under random workloads."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.openflow.errors import TableFullError
+from repro.openflow.match import IpPrefix, Match, PacketFields
+from repro.openflow.messages import FlowMod, FlowModCommand
+from repro.sim.latency import ConstantLatency
+from repro.switches.base import ControlCostModel, SimulatedSwitch
+from repro.tables.policies import LRU, FIFO
+from repro.tables.stack import TableLayer
+
+COST = ControlCostModel(
+    add_base_ms=0.5,
+    shift_ms=0.05,
+    priority_group_ms=0.1,
+    mod_ms=0.3,
+    del_ms=0.2,
+    jitter_std_frac=0.0,
+)
+
+
+def _switch(policy, capacity=8, bounded=False):
+    layers = [TableLayer("fast", capacity=capacity)]
+    delays = [ConstantLatency(0.5)]
+    if not bounded:
+        layers.append(TableLayer("slow", capacity=None))
+        delays.append(ConstantLatency(3.0))
+    return SimulatedSwitch(
+        name="prop",
+        layers=layers,
+        policy=policy,
+        layer_delays=delays,
+        control_path_delay=ConstantLatency(8.0),
+        cost_model=COST,
+        seed=1,
+    )
+
+
+def _match(i):
+    return Match(eth_type=0x0800, ip_dst=IpPrefix(i, 32))
+
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["add", "mod", "del", "packet"]),
+        st.integers(min_value=0, max_value=25),
+        st.integers(min_value=0, max_value=15),
+    ),
+    max_size=80,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(operations, st.sampled_from([FIFO, LRU]))
+def test_switch_bookkeeping_invariants(ops, policy):
+    """Clock monotone; shift model mirrors table contents; stats add up."""
+    switch = _switch(policy)
+    live = set()
+    last_clock = switch.clock.now_ms
+    for op, key, priority in ops:
+        match = _match(key)
+        if op == "add" and key not in live:
+            switch.apply_flow_mod(FlowMod(FlowModCommand.ADD, match, priority))
+            live.add(key)
+        elif op == "mod" and key in live:
+            switch.apply_flow_mod(FlowMod(FlowModCommand.MODIFY, match, priority))
+        elif op == "del":
+            switch.apply_flow_mod(FlowMod(FlowModCommand.DELETE, match, actions=()))
+            live.discard(key)
+        elif op == "packet":
+            delay = switch.forward_packet(PacketFields(ip_dst=key))
+            assert delay > 0
+        assert switch.clock.now_ms >= last_clock
+        last_clock = switch.clock.now_ms
+        # The priority-shift model tracks exactly the installed rules.
+        assert len(switch.shift_model) == switch.num_flows
+        assert switch.num_flows == len(live)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=40), min_size=1, max_size=40),
+    st.integers(min_value=1, max_value=6),
+)
+def test_bounded_switch_never_exceeds_capacity(keys, capacity):
+    switch = _switch(FIFO, capacity=capacity, bounded=True)
+    installed = set()
+    for key in keys:
+        if key in installed:
+            continue
+        try:
+            switch.apply_flow_mod(FlowMod(FlowModCommand.ADD, _match(key), 1))
+            installed.add(key)
+        except TableFullError:
+            assert len(installed) == capacity
+    assert switch.num_flows == len(installed) <= capacity
+
+
+@settings(max_examples=40, deadline=None)
+@given(operations)
+def test_forwarding_tier_consistent_with_layer(ops):
+    """A matched packet's delay always equals its rule's layer delay."""
+    switch = _switch(FIFO)
+    live = set()
+    for op, key, priority in ops:
+        if op == "add" and key not in live:
+            switch.apply_flow_mod(FlowMod(FlowModCommand.ADD, _match(key), priority))
+            live.add(key)
+        elif op == "del":
+            switch.apply_flow_mod(
+                FlowMod(FlowModCommand.DELETE, _match(key), actions=())
+            )
+            live.discard(key)
+        elif op == "packet" and key in live:
+            layer = switch.layer_of_match(_match(key))
+            delay = switch.forward_packet(PacketFields(ip_dst=key))
+            expected = 0.5 if layer == 0 else 3.0
+            assert delay == expected

@@ -1,0 +1,153 @@
+"""Tests for flow entries and cache policies (ATTRIB/MONOTONE/LEX)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.openflow.actions import OutputAction
+from repro.openflow.match import IpPrefix, Match
+from repro.tables.entry import SERIAL_ATTRIBUTES, FlowAttribute, FlowEntry
+from repro.tables.policies import (
+    CachePolicy,
+    Direction,
+    FIFO,
+    LIFO,
+    LFU,
+    LRU,
+    PRIORITY_CACHE,
+    STANDARD_POLICIES,
+    TRAFFIC_THEN_PRIORITY,
+)
+
+
+def _entry(entry_id=0, inserted=0.0, used=-1.0, traffic=0, priority=0):
+    entry = FlowEntry(
+        match=Match(eth_type=0x0800, ip_dst=IpPrefix(entry_id, 32)),
+        priority=priority,
+        actions=(OutputAction(1),),
+        entry_id=entry_id,
+        inserted_at_ms=inserted,
+    )
+    entry.last_used_at_ms = used
+    entry.traffic_count = traffic
+    return entry
+
+
+# -- FlowEntry ----------------------------------------------------------------
+def test_touch_updates_use_time_and_traffic():
+    entry = _entry()
+    entry.touch(5.0)
+    assert entry.last_used_at_ms == 5.0
+    assert entry.traffic_count == 1
+    entry.touch(7.0, packets=3)
+    assert entry.traffic_count == 4
+
+
+def test_attribute_values():
+    entry = _entry(inserted=1.0, used=2.0, traffic=3, priority=4)
+    assert entry.attribute_value(FlowAttribute.INSERTION) == 1.0
+    assert entry.attribute_value(FlowAttribute.USE_TIME) == 2.0
+    assert entry.attribute_value(FlowAttribute.TRAFFIC) == 3.0
+    assert entry.attribute_value(FlowAttribute.PRIORITY) == 4.0
+
+
+def test_serial_attributes_are_times():
+    assert SERIAL_ATTRIBUTES == {FlowAttribute.INSERTION, FlowAttribute.USE_TIME}
+
+
+# -- CachePolicy ---------------------------------------------------------------
+def test_policy_requires_terms():
+    with pytest.raises(ValueError):
+        CachePolicy(terms=())
+
+
+def test_policy_rejects_duplicate_attribute():
+    with pytest.raises(ValueError):
+        CachePolicy(
+            terms=(
+                (FlowAttribute.TRAFFIC, Direction.INCREASING),
+                (FlowAttribute.TRAFFIC, Direction.DECREASING),
+            )
+        )
+
+
+def test_fifo_prefers_older_insertions():
+    old = _entry(entry_id=0, inserted=1.0)
+    new = _entry(entry_id=1, inserted=2.0)
+    assert FIFO.score(old) > FIFO.score(new)
+
+
+def test_lifo_prefers_newer_insertions():
+    old = _entry(entry_id=0, inserted=1.0)
+    new = _entry(entry_id=1, inserted=2.0)
+    assert LIFO.score(new) > LIFO.score(old)
+
+
+def test_lru_prefers_recently_used():
+    stale = _entry(entry_id=0, used=1.0)
+    fresh = _entry(entry_id=1, used=9.0)
+    assert LRU.score(fresh) > LRU.score(stale)
+
+
+def test_lfu_prefers_heavy_traffic():
+    light = _entry(entry_id=0, traffic=1)
+    heavy = _entry(entry_id=1, traffic=100)
+    assert LFU.score(heavy) > LFU.score(light)
+
+
+def test_priority_cache_prefers_high_priority():
+    low = _entry(entry_id=0, priority=1)
+    high = _entry(entry_id=1, priority=10)
+    assert PRIORITY_CACHE.score(high) > PRIORITY_CACHE.score(low)
+
+
+def test_lexicographic_secondary_breaks_primary_tie():
+    a = _entry(entry_id=0, traffic=5, priority=1)
+    b = _entry(entry_id=1, traffic=5, priority=9)
+    assert TRAFFIC_THEN_PRIORITY.score(b) > TRAFFIC_THEN_PRIORITY.score(a)
+
+
+def test_lexicographic_primary_dominates_secondary():
+    a = _entry(entry_id=0, traffic=9, priority=1)
+    b = _entry(entry_id=1, traffic=5, priority=100)
+    assert TRAFFIC_THEN_PRIORITY.score(a) > TRAFFIC_THEN_PRIORITY.score(b)
+
+
+def test_entry_id_makes_ordering_total():
+    a = _entry(entry_id=0, inserted=1.0)
+    b = _entry(entry_id=1, inserted=1.0)
+    assert FIFO.score(a) != FIFO.score(b)
+
+
+def test_standard_policies_registry():
+    assert "FIFO" in STANDARD_POLICIES
+    assert STANDARD_POLICIES["LRU"].primary is FlowAttribute.USE_TIME
+
+
+def test_describe_mentions_direction():
+    assert "insertion" in CachePolicy(
+        terms=((FlowAttribute.INSERTION, Direction.DECREASING),)
+    ).describe()
+    assert FIFO.describe() == "FIFO"
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=1000),  # inserted
+            st.integers(min_value=0, max_value=1000),  # used
+            st.integers(min_value=0, max_value=1000),  # traffic
+            st.integers(min_value=0, max_value=100),  # priority
+        ),
+        min_size=2,
+        max_size=20,
+    )
+)
+def test_lex_scores_define_total_order(rows):
+    """LEX + entry-id tie-break must order any set of entries strictly."""
+    entries = [
+        _entry(entry_id=i, inserted=r[0], used=r[1], traffic=r[2], priority=r[3])
+        for i, r in enumerate(rows)
+    ]
+    for policy in STANDARD_POLICIES.values():
+        scores = [policy.score(e) for e in entries]
+        assert len(set(scores)) == len(scores)

@@ -1,0 +1,124 @@
+"""Tests for TCAM geometry (Table 1) and the shift-cost model (Fig 3b/3c)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.openflow.match import MatchKind
+from repro.tables.tcam import PriorityShiftModel, TcamGeometry, TcamMode
+
+
+# -- geometry / Table 1 -------------------------------------------------------
+def test_single_wide_rejects_wide_entries():
+    geometry = TcamGeometry(slot_units=100, mode=TcamMode.SINGLE_WIDE)
+    with pytest.raises(ValueError):
+        geometry.entry_cost(MatchKind.L2_L3)
+
+
+def test_single_wide_full_capacity_for_narrow():
+    geometry = TcamGeometry(slot_units=4096, mode=TcamMode.SINGLE_WIDE)
+    assert geometry.capacity_for(MatchKind.L2) == 4096
+    assert geometry.capacity_for(MatchKind.L3) == 4096
+
+
+def test_double_wide_halves_capacity_for_everything():
+    """Switch #2: 2560 entries no matter the entry type (Table 1)."""
+    geometry = TcamGeometry(slot_units=5120, mode=TcamMode.DOUBLE_WIDE)
+    for kind in MatchKind:
+        assert geometry.capacity_for(kind) == 2560
+
+
+def test_adaptive_mode_matches_switch3():
+    """Switch #3: 767 narrow entries or 369 wide ones (Table 1)."""
+    geometry = TcamGeometry(
+        slot_units=767, mode=TcamMode.ADAPTIVE, wide_cost=767.0 / 369.0
+    )
+    assert geometry.capacity_for(MatchKind.L2) == 767
+    assert geometry.capacity_for(MatchKind.L3) == 767
+    assert geometry.capacity_for(MatchKind.L2_L3) == 369
+
+
+def test_adaptive_mode_matches_switch1():
+    """Switch #1: 4K L2/L3-only entries, 2K combined (Table 1)."""
+    geometry = TcamGeometry(slot_units=4096, mode=TcamMode.ADAPTIVE, wide_cost=2.0)
+    assert geometry.capacity_for(MatchKind.L3) == 4096
+    assert geometry.capacity_for(MatchKind.L2_L3) == 2048
+
+
+def test_geometry_validation():
+    with pytest.raises(ValueError):
+        TcamGeometry(slot_units=0)
+    with pytest.raises(ValueError):
+        TcamGeometry(slot_units=10, wide_cost=0.5)
+
+
+# -- shift model --------------------------------------------------------------
+def test_ascending_inserts_never_shift():
+    model = PriorityShiftModel()
+    shifts = [model.record_add(p) for p in range(1, 101)]
+    assert shifts == [0] * 100
+
+
+def test_same_priority_inserts_never_shift():
+    model = PriorityShiftModel()
+    shifts = [model.record_add(7) for _ in range(100)]
+    assert shifts == [0] * 100
+
+
+def test_descending_inserts_shift_everything():
+    model = PriorityShiftModel()
+    shifts = [model.record_add(p) for p in range(100, 0, -1)]
+    assert shifts == list(range(100))
+
+
+def test_shifts_for_add_is_pure():
+    model = PriorityShiftModel()
+    model.record_add(10)
+    model.record_add(20)
+    assert model.shifts_for_add(5) == 2
+    assert model.shifts_for_add(15) == 1
+    assert model.shifts_for_add(25) == 0
+    assert len(model) == 2  # unchanged
+
+
+def test_delete_unknown_priority_rejected():
+    model = PriorityShiftModel()
+    model.record_add(5)
+    with pytest.raises(ValueError):
+        model.record_delete(6)
+
+
+def test_delete_reduces_future_shifts():
+    model = PriorityShiftModel()
+    model.record_add(10)
+    model.record_add(20)
+    model.record_delete(20)
+    assert model.shifts_for_add(5) == 1
+
+
+def test_clear_resets():
+    model = PriorityShiftModel()
+    model.record_add(1)
+    model.clear()
+    assert len(model) == 0
+    assert model.shifts_for_add(0) == 0
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=200))
+def test_shift_count_equals_strictly_greater_entries(priorities):
+    """Invariant: an add shifts exactly the resident higher-priority entries."""
+    model = PriorityShiftModel()
+    seen = []
+    for priority in priorities:
+        expected = sum(1 for p in seen if p > priority)
+        assert model.record_add(priority) == expected
+        seen.append(priority)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=50), min_size=2, max_size=100))
+def test_descending_total_shifts_dominate_ascending(priorities):
+    ascending = sorted(priorities)
+    descending = sorted(priorities, reverse=True)
+    asc_model, desc_model = PriorityShiftModel(), PriorityShiftModel()
+    asc_total = sum(asc_model.record_add(p) for p in ascending)
+    desc_total = sum(desc_model.record_add(p) for p in descending)
+    assert desc_total >= asc_total

@@ -1,0 +1,66 @@
+"""Tests for the tango-probe CLI."""
+
+import io
+
+import pytest
+
+from repro.tools.cli import main
+
+
+def test_profiles_subcommand_lists_vendors():
+    out = io.StringIO()
+    assert main(["profiles"], out=out) == 0
+    text = out.getvalue()
+    for name in ("ovs", "switch1", "switch2", "switch3"):
+        assert name in text
+
+
+def test_probe_switch3_reports_size():
+    out = io.StringIO()
+    assert main(["probe", "--profile", "switch3", "--max-rules", "1024"], out=out) == 0
+    text = out.getvalue()
+    assert "switch profile : switch3" in text
+    assert "size 767" in text
+    assert "latency curves" in text
+    assert "rule placement : traffic-independent" in text
+
+
+def test_probe_ovs_detects_microflow_caching():
+    out = io.StringIO()
+    assert main(["probe", "--profile", "ovs", "--max-rules", "128"], out=out) == 0
+    text = out.getvalue()
+    assert "traffic-driven (microflow caching)" in text
+    assert "unbounded" in text
+
+
+def test_probe_unknown_profile_rejected():
+    with pytest.raises(SystemExit):
+        main(["probe", "--profile", "nope"], out=io.StringIO())
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        main([], out=io.StringIO())
+
+
+def test_schedule_subcommand_lf():
+    out = io.StringIO()
+    assert (
+        main(["schedule", "--scenario", "lf", "--flows", "40"], out=out) == 0
+    )
+    text = out.getvalue()
+    assert "dionysus" in text
+    assert "tango" in text
+    assert "baseline" in text
+
+
+def test_schedule_subcommand_te():
+    out = io.StringIO()
+    assert (
+        main(
+            ["schedule", "--scenario", "te2", "--flows", "20", "--requests", "60"],
+            out=out,
+        )
+        == 0
+    )
+    assert "vs Dionysus" in out.getvalue()

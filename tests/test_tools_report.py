@@ -1,0 +1,68 @@
+"""Tests for the benchmark report renderer."""
+
+import io
+import json
+
+import pytest
+
+from repro.tools.report import main, render_report
+
+
+@pytest.fixture
+def payload():
+    return {
+        "machine_info": {"node": "testhost", "python_version": "3.11"},
+        "benchmarks": [
+            {
+                "name": "bench_fig10_testbed",
+                "stats": {"mean": 1.234},
+                "extra_info": {
+                    "seconds": {"LF": {"Dionysus": 3.6, "Tango": 1.26}},
+                    "gain": 0.65,
+                },
+            },
+            {
+                "name": "bench_table2_classbench",
+                "stats": {"mean": 0.5},
+                "extra_info": {"rows": [["Classbench1", 829, 64, 829]]},
+            },
+        ],
+    }
+
+
+def test_render_contains_bench_sections(payload):
+    report = render_report(payload)
+    assert "# Tango reproduction" in report
+    assert "## bench_fig10_testbed" in report
+    assert "## bench_table2_classbench" in report
+    assert "testhost" in report
+
+
+def test_render_includes_extra_info(payload):
+    report = render_report(payload)
+    assert "gain" in report
+    assert "0.65" in report
+    assert "Dionysus" in report
+
+
+def test_render_handles_missing_extra_info():
+    report = render_report({"benchmarks": [{"name": "x", "stats": {}}]})
+    assert "(no extra_info recorded)" in report
+
+
+def test_main_reads_file(tmp_path, payload):
+    path = tmp_path / "run.json"
+    path.write_text(json.dumps(payload))
+    out = io.StringIO()
+    assert main([str(path)], out=out) == 0
+    assert "bench_fig10_testbed" in out.getvalue()
+
+
+def test_main_reports_unreadable_file(tmp_path):
+    assert main([str(tmp_path / "missing.json")], out=io.StringIO()) == 1
+
+
+def test_main_reports_bad_json(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("{not json")
+    assert main([str(path)], out=io.StringIO()) == 1

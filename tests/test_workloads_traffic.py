@@ -1,0 +1,62 @@
+"""Tests for traffic-matrix and flow-arrival helpers."""
+
+import pytest
+
+from repro.sim.rng import SeededRng
+from repro.workloads.traffic import poisson_flow_arrivals, uniform_traffic_matrix
+
+NODES = [f"n{i}" for i in range(6)]
+
+
+def test_matrix_respects_sparsity():
+    rng = SeededRng(1).child("t")
+    matrix = uniform_traffic_matrix(NODES, total_demand=100.0, rng=rng, sparsity=0.5)
+    assert len(matrix) == int(len(NODES) * (len(NODES) - 1) * 0.5)
+
+
+def test_matrix_total_demand():
+    rng = SeededRng(2).child("t")
+    matrix = uniform_traffic_matrix(NODES, total_demand=100.0, rng=rng)
+    assert sum(matrix.values()) == pytest.approx(100.0)
+
+
+def test_matrix_no_self_pairs():
+    rng = SeededRng(3).child("t")
+    matrix = uniform_traffic_matrix(NODES, total_demand=10.0, rng=rng, sparsity=1.0)
+    assert all(a != b for a, b in matrix)
+
+
+def test_matrix_positive_demands():
+    rng = SeededRng(4).child("t")
+    matrix = uniform_traffic_matrix(NODES, total_demand=50.0, rng=rng)
+    assert all(v > 0 for v in matrix.values())
+
+
+def test_matrix_deterministic_per_stream():
+    a = uniform_traffic_matrix(NODES, 10.0, SeededRng(5).child("t"))
+    b = uniform_traffic_matrix(NODES, 10.0, SeededRng(5).child("t"))
+    assert a == b
+
+
+def test_matrix_minimum_one_pair():
+    rng = SeededRng(6).child("t")
+    matrix = uniform_traffic_matrix(NODES, 10.0, rng, sparsity=0.0001)
+    assert len(matrix) == 1
+
+
+def test_poisson_arrivals_within_duration():
+    rng = SeededRng(7).child("p")
+    arrivals = poisson_flow_arrivals(rate_per_ms=0.5, duration_ms=100.0, rng=rng)
+    assert all(0 < t < 100.0 for t in arrivals)
+    assert arrivals == sorted(arrivals)
+
+
+def test_poisson_mean_rate():
+    rng = SeededRng(8).child("p")
+    arrivals = poisson_flow_arrivals(rate_per_ms=1.0, duration_ms=5000.0, rng=rng)
+    assert len(arrivals) == pytest.approx(5000, rel=0.1)
+
+
+def test_poisson_rate_validated():
+    with pytest.raises(ValueError):
+        poisson_flow_arrivals(rate_per_ms=0.0, duration_ms=10.0, rng=SeededRng(1))
