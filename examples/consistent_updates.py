@@ -15,11 +15,18 @@ after every single rule operation.
   transient black hole the auditor catches.
 
 Usage:
-    python examples/consistent_updates.py
+    python examples/consistent_updates.py [--strict]
+
+With ``--strict`` each DAG is statically verified by
+``repro.analysis`` before scheduling (cycles, shadowed rules, orphan
+barriers); ERROR diagnostics abort the run before any rule is issued.
 """
 
 from __future__ import annotations
 
+import argparse
+
+from repro.analysis import analyze_dag
 from repro.baselines import FifoOrderScheduler
 from repro.core.requests import RequestDag
 from repro.core.scheduler import BasicTangoScheduler
@@ -61,13 +68,20 @@ def build_install_dag(network, flow, reverse: bool) -> RequestDag:
     return dag
 
 
-def run(reverse: bool) -> None:
+def run(reverse: bool, strict: bool = False) -> None:
     network = line_network()
     flow = network.new_flow("ingress", "egress")
     dag = build_install_dag(network, flow, reverse=reverse)
+    if strict:
+        report = analyze_dag(dag)
+        report.raise_on_errors()
+        print(
+            f"    static verification: {len(dag)} requests, "
+            f"{len(report)} diagnostic(s)"
+        )
     executor = AuditingExecutor(network, probes_for_flows(network, [flow]))
     if reverse:
-        BasicTangoScheduler(executor).schedule(dag)
+        BasicTangoScheduler(executor, strict=strict).schedule(dag)
     else:
         FifoOrderScheduler(executor).schedule(dag)  # issues ingress first
 
@@ -84,10 +98,17 @@ def run(reverse: bool) -> None:
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="statically verify each DAG (repro.analysis) before scheduling",
+    )
+    args = parser.parse_args()
     print("Installing one flow over ingress -> core -> egress, auditing "
           "after every rule operation:\n")
-    run(reverse=True)
-    run(reverse=False)
+    run(reverse=True, strict=args.strict)
+    run(reverse=False, strict=args.strict)
     print(
         "\nThe reverse (egress-first) ordering used throughout the paper's "
         "evaluation never forwards a packet into a rule-less switch."

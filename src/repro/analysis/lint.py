@@ -1,0 +1,313 @@
+"""AST determinism linter for the simulator's own source code.
+
+The reproduction's headline guarantee is that every experiment is
+deterministic run-to-run: all randomness flows through seeded
+:class:`~repro.sim.rng.SeededRng` streams and all time through virtual
+clocks.  That guarantee is only as strong as the code's discipline, so
+this linter walks the package's ASTs and enforces it:
+
+* **TNG030 wall clock** — calls to ``time.time``/``time.monotonic``/
+  ``time.perf_counter``/``datetime.now``/``datetime.utcnow``/
+  ``datetime.today`` outside the simulation substrate (``sim/``).
+  Virtual experiments must read virtual clocks.
+* **TNG031 unseeded randomness** — any use of the stdlib ``random``
+  module, or of ``numpy.random``'s module-level functions, outside
+  ``sim/rng.py``.  Unseeded draws silently break reproducibility.
+* **TNG032 unordered iteration** — ``for`` loops and comprehensions
+  iterating directly over a ``set`` display, set comprehension, or
+  ``set(...)``/``frozenset(...)`` call without ``sorted(...)``.  Set
+  iteration order is salted per process; feeding it into scheduler
+  decisions makes runs diverge.
+* **TNG033 mutable default argument** — list/dict/set displays (or
+  constructor calls) as parameter defaults; shared mutable state across
+  calls is a classic heisenbug source.
+* **TNG034 unparseable source** — the file is not valid Python; it is
+  reported (with the parse error's location) instead of aborting the
+  whole lint run.
+
+Run it over the repository itself::
+
+    python -m repro.analysis.lint src/repro
+    tango-lint src/repro           # console entry point
+
+Exit status is 1 when any ERROR diagnostic is found (0 otherwise), so
+the linter slots directly into CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from repro.analysis.diagnostics import DiagnosticReport, Severity
+
+#: Module paths (relative, forward-slash) exempt from a given rule.
+WALL_CLOCK_ALLOWED = ("sim/",)
+RANDOM_ALLOWED = ("sim/rng.py",)
+
+_WALL_CLOCK_CALLS = {
+    ("time", "time"),
+    ("time", "monotonic"),
+    ("time", "perf_counter"),
+    ("time", "process_time"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+}
+
+_SET_CONSTRUCTORS = {"set", "frozenset"}
+_MUTABLE_CONSTRUCTORS = {"list", "dict", "set"}
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """Render ``a.b.c`` attribute chains; None for anything else."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class _DeterminismVisitor(ast.NodeVisitor):
+    def __init__(self, relpath: str, report: DiagnosticReport) -> None:
+        self.relpath = relpath
+        self.report = report
+
+    def _at(self, node: ast.AST) -> str:
+        return f"{self.relpath}:{getattr(node, 'lineno', 0)}"
+
+    def _allowed(self, prefixes: Sequence[str]) -> bool:
+        return any(self.relpath.startswith(prefix) for prefix in prefixes)
+
+    # -- TNG030 / TNG031: calls and imports --------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted(node.func)
+        if dotted is not None:
+            parts = dotted.split(".")
+            if (
+                len(parts) >= 2
+                and (parts[-2], parts[-1]) in _WALL_CLOCK_CALLS
+                and not self._allowed(WALL_CLOCK_ALLOWED)
+            ):
+                self.report.add(
+                    "TNG030",
+                    Severity.ERROR,
+                    f"wall-clock call {dotted}() in simulator code",
+                    location=self._at(node),
+                    hint="read a repro.sim.clock.VirtualClock instead",
+                )
+            if (
+                len(parts) >= 2
+                and "random" in parts[:-1]
+                and not self._allowed(RANDOM_ALLOWED)
+            ):
+                self.report.add(
+                    "TNG031",
+                    Severity.ERROR,
+                    f"module-level randomness {dotted}() outside sim/rng.py",
+                    location=self._at(node),
+                    hint="draw from a SeededRng stream (sim/rng.py)",
+                )
+        self.generic_visit(node)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            root = alias.name.split(".")[0]
+            if root == "random" and not self._allowed(RANDOM_ALLOWED):
+                self.report.add(
+                    "TNG031",
+                    Severity.ERROR,
+                    "import of the stdlib random module outside sim/rng.py",
+                    location=self._at(node),
+                    hint="derive a SeededRng child stream instead",
+                )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module is not None:
+            root = node.module.split(".")[0]
+            if root == "random" and not self._allowed(RANDOM_ALLOWED):
+                self.report.add(
+                    "TNG031",
+                    Severity.ERROR,
+                    "from random import ... outside sim/rng.py",
+                    location=self._at(node),
+                    hint="derive a SeededRng child stream instead",
+                )
+        self.generic_visit(node)
+
+    # -- TNG032: unordered iteration ----------------------------------------
+    def _is_set_expression(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            name = _dotted(node.func)
+            return name in _SET_CONSTRUCTORS
+        return False
+
+    def _flag_unordered(self, iterable: ast.AST) -> None:
+        if self._is_set_expression(iterable):
+            self.report.add(
+                "TNG032",
+                Severity.ERROR,
+                "iteration directly over a set; ordering is process-salted",
+                location=self._at(iterable),
+                hint="wrap the set in sorted(...) before iterating",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._flag_unordered(node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension_iters(self, generators) -> None:
+        for comp in generators:
+            self._flag_unordered(comp.iter)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self.visit_comprehension_iters(node.generators)
+        self.generic_visit(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self.visit_comprehension_iters(node.generators)
+        self.generic_visit(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self.visit_comprehension_iters(node.generators)
+        self.generic_visit(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self.visit_comprehension_iters(node.generators)
+        self.generic_visit(node)
+
+    # -- TNG033: mutable defaults --------------------------------------------
+    def _check_defaults(self, node) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            mutable = isinstance(default, (ast.List, ast.Dict, ast.Set))
+            if not mutable and isinstance(default, ast.Call):
+                name = _dotted(default.func)
+                mutable = name in _MUTABLE_CONSTRUCTORS
+            if mutable:
+                self.report.add(
+                    "TNG033",
+                    Severity.ERROR,
+                    f"mutable default argument in {node.name}()",
+                    location=self._at(default),
+                    hint="default to None and create the object inside "
+                    "the function",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+
+def lint_source(
+    source: str, relpath: str, report: Optional[DiagnosticReport] = None
+) -> DiagnosticReport:
+    """Lint one module's source text (``relpath`` is package-relative)."""
+    report = report if report is not None else DiagnosticReport()
+    try:
+        tree = ast.parse(source, filename=relpath)
+    except SyntaxError as exc:
+        line = exc.lineno if exc.lineno is not None else 1
+        report.add(
+            "TNG034",
+            Severity.ERROR,
+            f"cannot parse file: {exc.msg}",
+            location=f"{relpath}:{line}",
+            hint="fix the syntax error; nothing else in this file was checked",
+        )
+        return report
+    _DeterminismVisitor(relpath.replace("\\", "/"), report).visit(tree)
+    return report
+
+
+def _package_relative(path: Path, root: Path) -> str:
+    try:
+        return path.relative_to(root).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def iter_python_files(targets: Iterable[str]) -> List[Path]:
+    files: List[Path] = []
+    for target in targets:
+        path = Path(target)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    return files
+
+
+def lint_paths(
+    targets: Sequence[str], report: Optional[DiagnosticReport] = None
+) -> DiagnosticReport:
+    """Lint every python file under the given files/directories.
+
+    Rule allowlists (``sim/``, ``sim/rng.py``) are matched against paths
+    relative to each target directory, so both ``src/repro`` and a
+    package checkout root work.
+    """
+    report = report if report is not None else DiagnosticReport()
+    for target in targets:
+        root = Path(target) if Path(target).is_dir() else Path(target).parent
+        for path in iter_python_files([target]):
+            relpath = _package_relative(path, root)
+            lint_source(
+                path.read_text(encoding="utf-8", errors="replace"),
+                relpath,
+                report,
+            )
+    return report
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    parser = argparse.ArgumentParser(
+        prog="tango-lint",
+        description="Determinism linter for the Tango reproduction sources.",
+    )
+    parser.add_argument(
+        "targets", nargs="+", help="python files or package directories to lint"
+    )
+    parser.add_argument(
+        "--warnings-as-errors",
+        action="store_true",
+        help="exit non-zero on WARNING diagnostics too",
+    )
+    args = parser.parse_args(argv)
+    for target in args.targets:
+        if not Path(target).exists():
+            parser.error(f"no such file or directory: {target}")
+
+    report = lint_paths(args.targets)
+    if len(report):
+        print(report.format(), file=out)
+    errors = report.errors()
+    warnings = report.warnings()
+    print(
+        f"tango-lint: {len(errors)} error(s), {len(warnings)} warning(s) in "
+        f"{len(iter_python_files(args.targets))} file(s)",
+        file=out,
+    )
+    if errors or (args.warnings_as_errors and warnings):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -20,7 +20,7 @@ from repro.core.priorities import (
     assign_topological_priorities,
 )
 from repro.core.requests import RequestDag, SwitchRequest
-from repro.openflow.actions import Action, DropAction, OutputAction
+from repro.openflow.actions import Action, DropAction
 from repro.openflow.match import Match
 from repro.openflow.messages import FlowModCommand
 from repro.workloads.dependencies import build_dependency_graph

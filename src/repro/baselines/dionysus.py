@@ -16,7 +16,6 @@ from typing import Dict
 
 from repro.core.requests import RequestDag
 from repro.core.scheduler import (
-    IssueRecord,
     NetworkExecutor,
     ScheduleResult,
     _count_deadline_misses,

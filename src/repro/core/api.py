@@ -132,23 +132,30 @@ class Tango:
         return measured or self.patterns.rewrite_patterns
 
     def make_scheduler(
-        self, dag: RequestDag, variant: str = "basic"
+        self, dag: RequestDag, variant: str = "basic", strict: bool = False
     ) -> BasicTangoScheduler:
         """Build a scheduler for ``dag`` using inferred switch knowledge.
 
         Args:
             dag: the request DAG about to be scheduled.
             variant: ``"basic"``, ``"prefix"``, or ``"concurrent"``.
+            strict: statically verify the DAG before scheduling and
+                raise :class:`~repro.analysis.DiagnosticError` on any
+                ERROR diagnostic.
         """
         executor = self._executor()
         patterns = self._patterns_for(dag)
         if variant == "basic":
-            return BasicTangoScheduler(executor, patterns=patterns)
+            return BasicTangoScheduler(executor, patterns=patterns, strict=strict)
         estimate = self._duration_estimator(dag)
         if variant == "prefix":
-            return PrefixTangoScheduler(executor, estimate, patterns=patterns)
+            return PrefixTangoScheduler(
+                executor, estimate, patterns=patterns, strict=strict
+            )
         if variant == "concurrent":
-            return ConcurrentTangoScheduler(executor, estimate, patterns=patterns)
+            return ConcurrentTangoScheduler(
+                executor, estimate, patterns=patterns, strict=strict
+            )
         raise ValueError(f"unknown scheduler variant {variant!r}")
 
     def _duration_estimator(self, dag: RequestDag):
@@ -164,7 +171,15 @@ class Tango:
 
         return estimate
 
-    def schedule(self, dag: RequestDag, variant: str = "basic") -> ScheduleResult:
-        """Schedule and execute a request DAG against the registered switches."""
-        scheduler = self.make_scheduler(dag, variant=variant)
+    def schedule(
+        self, dag: RequestDag, variant: str = "basic", strict: bool = False
+    ) -> ScheduleResult:
+        """Schedule and execute a request DAG against the registered switches.
+
+        With ``strict=True`` the DAG is statically verified first
+        (cycles, shadowed rules, deadline feasibility, ...) and
+        execution aborts on ERROR diagnostics instead of issuing a
+        single ``flow_mod``.
+        """
+        scheduler = self.make_scheduler(dag, variant=variant, strict=strict)
         return scheduler.schedule(dag)

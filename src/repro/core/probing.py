@@ -12,7 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.openflow.actions import Action
 from repro.openflow.channel import ControlChannel
 from repro.openflow.match import IpPrefix, Match, MatchKind, PacketFields
 from repro.openflow.messages import FlowMod, FlowModCommand, PacketOut

@@ -140,12 +140,46 @@ class BasicTangoScheduler:
         executor: NetworkExecutor,
         patterns: Optional[Sequence[RewritePattern]] = None,
         pattern_db: Optional[TangoPatternDatabase] = None,
+        strict: bool = False,
     ) -> None:
         self.executor = executor
         if patterns is None:
             db = pattern_db if pattern_db is not None else TangoPatternDatabase()
             patterns = db.rewrite_patterns
         self.oracle = _OrderingOracle(patterns)
+        self.strict = strict
+
+    # -- static verification (strict mode) ------------------------------------
+    def _strict_estimate(self) -> Optional[DurationEstimator]:
+        """Duration estimator for deadline-feasibility checks, if any."""
+        return None
+
+    def _strict_guard_ms(self) -> Optional[float]:
+        """Guard interval for concurrent-dispatch checks, if any."""
+        return None
+
+    def precheck(self, dag: RequestDag):
+        """Statically verify ``dag`` before issuing anything.
+
+        Runs :func:`repro.analysis.analyze_dag` with whatever knowledge
+        this scheduler variant has (duration estimates, guard times).
+
+        Returns:
+            The :class:`~repro.analysis.DiagnosticReport`.
+
+        Raises:
+            repro.analysis.DiagnosticError: on any ERROR-level
+                diagnostic (cycles, infeasible deadlines, ...).
+        """
+        from repro.analysis import analyze_dag
+
+        report = analyze_dag(
+            dag,
+            estimate=self._strict_estimate(),
+            guard_ms=self._strict_guard_ms(),
+        )
+        report.raise_on_errors()
+        return report
 
     def schedule(self, dag: RequestDag) -> ScheduleResult:
         """Issue every request in the DAG; returns timing results.
@@ -155,7 +189,13 @@ class BasicTangoScheduler:
         request starts as soon as its switch is free and its own
         dependencies have finished -- there is no cross-switch barrier,
         so independent work on different switches overlaps.
+
+        With ``strict=True`` (constructor knob) the DAG is statically
+        verified first and scheduling aborts with
+        :class:`~repro.analysis.DiagnosticError` on ERROR diagnostics.
         """
+        if self.strict:
+            self.precheck(dag)
         self.executor.reset_epoch()
         result = ScheduleResult(makespan_ms=0.0)
         finish_times: Dict[int, float] = {}
@@ -229,13 +269,19 @@ class PrefixTangoScheduler(BasicTangoScheduler):
         pattern_db: Optional[TangoPatternDatabase] = None,
         max_prefixes: int = 4,
         lookahead_depth: int = 2,
+        strict: bool = False,
     ) -> None:
-        super().__init__(executor, patterns=patterns, pattern_db=pattern_db)
+        super().__init__(
+            executor, patterns=patterns, pattern_db=pattern_db, strict=strict
+        )
         if lookahead_depth < 1:
             raise ValueError("lookahead_depth must be at least 1")
         self.estimate = estimate
         self.max_prefixes = max_prefixes
         self.lookahead_depth = lookahead_depth
+
+    def _strict_estimate(self) -> Optional[DurationEstimator]:
+        return self.estimate
 
     def _estimate_batch_ms(self, ordered: Sequence[SwitchRequest]) -> float:
         """Estimated makespan of a batch (per-switch serial, cross parallel)."""
@@ -301,6 +347,8 @@ class PrefixTangoScheduler(BasicTangoScheduler):
         return best_cost, best_cut
 
     def schedule(self, dag: RequestDag) -> ScheduleResult:
+        if self.strict:
+            self.precheck(dag)
         self.executor.reset_epoch()
         result = ScheduleResult(makespan_ms=0.0)
         finish_times: Dict[int, float] = {}
@@ -355,9 +403,15 @@ class DeadlineAwareTangoScheduler(BasicTangoScheduler):
         estimate: DurationEstimator,
         patterns: Optional[Sequence[RewritePattern]] = None,
         pattern_db: Optional[TangoPatternDatabase] = None,
+        strict: bool = False,
     ) -> None:
-        super().__init__(executor, patterns=patterns, pattern_db=pattern_db)
+        super().__init__(
+            executor, patterns=patterns, pattern_db=pattern_db, strict=strict
+        )
         self.estimate = estimate
+
+    def _strict_estimate(self) -> Optional[DurationEstimator]:
+        return self.estimate
 
     def _split_urgent(
         self, ordered: Sequence[SwitchRequest], now_ms: float
@@ -378,6 +432,8 @@ class DeadlineAwareTangoScheduler(BasicTangoScheduler):
         return urgent, relaxed
 
     def schedule(self, dag: RequestDag) -> ScheduleResult:
+        if self.strict:
+            self.precheck(dag)
         self.executor.reset_epoch()
         result = ScheduleResult(makespan_ms=0.0)
         finish_times: Dict[int, float] = {}
@@ -428,16 +484,26 @@ class ConcurrentTangoScheduler(BasicTangoScheduler):
         patterns: Optional[Sequence[RewritePattern]] = None,
         pattern_db: Optional[TangoPatternDatabase] = None,
         guard_ms: float = 5.0,
+        strict: bool = False,
     ) -> None:
-        super().__init__(executor, patterns=patterns, pattern_db=pattern_db)
+        super().__init__(
+            executor, patterns=patterns, pattern_db=pattern_db, strict=strict
+        )
         self.estimate = estimate
         self.guard_ms = guard_ms
 
+    def _strict_estimate(self) -> Optional[DurationEstimator]:
+        return self.estimate
+
+    def _strict_guard_ms(self) -> Optional[float]:
+        return self.guard_ms
+
     def schedule(self, dag: RequestDag) -> ScheduleResult:
+        if self.strict:
+            self.precheck(dag)
         self.executor.reset_epoch()
         result = ScheduleResult(makespan_ms=0.0)
         finish_times: Dict[int, float] = {}
-        issued: Dict[int, bool] = {}
         makespan = self.executor.epoch_ms
 
         while not dag.is_done():

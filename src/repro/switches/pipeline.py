@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.openflow.actions import ControllerAction, GotoTableAction
 from repro.openflow.errors import BadMatchError
-from repro.openflow.match import Match, PacketFields
+from repro.openflow.match import PacketFields
 from repro.openflow.messages import (
     BarrierRequest,
     FlowMod,

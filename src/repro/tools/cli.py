@@ -68,6 +68,12 @@ def _build_parser() -> argparse.ArgumentParser:
     schedule.add_argument("--flows", type=int, default=200, help="testbed flow count")
     schedule.add_argument("--requests", type=int, default=400, help="TE request count")
     schedule.add_argument("--seed", type=int, default=0)
+    schedule.add_argument(
+        "--strict",
+        action="store_true",
+        help="statically verify the request DAG (repro.analysis) and "
+        "abort on ERROR diagnostics before scheduling",
+    )
     return parser
 
 
@@ -155,9 +161,35 @@ def _run_schedule(args, out) -> int:
         file=out,
     )
     baseline = None
+    checked = False
     for label, factory in arms.items():
         network = build_network()
         result = build_dag(network)
+        if args.strict and not checked:
+            # Same seed => every arm schedules an identical DAG; verify once.
+            checked = True
+            from repro.analysis import analyze_dag
+
+            resident = [
+                (name, entry.match, entry.priority)
+                for name, switch in sorted(network.switches.items())
+                for entry in switch.tables.entries
+            ]
+            report = analyze_dag(result.dag, existing=resident)
+            if len(report):
+                print(report.format(), file=out)
+            if report.has_errors:
+                print(
+                    f"static verification failed with "
+                    f"{len(report.errors())} error(s); nothing scheduled",
+                    file=out,
+                )
+                return 2
+            print(
+                f"static verification ok: {len(result.dag)} requests, "
+                f"{len(report.warnings())} warning(s)",
+                file=out,
+            )
         outcome = factory(network.executor()).schedule(result.dag)
         seconds = outcome.makespan_ms / 1000.0
         if baseline is None:

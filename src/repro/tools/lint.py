@@ -1,0 +1,25 @@
+"""The ``tango-lint`` console entry point.
+
+Thin wrapper so the linter lives alongside the other operator tools
+(``tango-probe``, ``tango-report``)::
+
+    tango-lint src/repro
+    python -m repro.tools.lint src/repro
+
+The implementation is :mod:`repro.analysis.lint`.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+from repro.analysis.lint import main as _lint_main
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    return _lint_main(argv, out=out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

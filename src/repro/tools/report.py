@@ -31,6 +31,27 @@ def _format_value(value: Any, indent: int = 0) -> List[str]:
     return [f"{pad}- {value}"]
 
 
+def render_diagnostics(diagnostics: List[Any], heading: str = "### Diagnostics") -> List[str]:
+    """Markdown lines for a list of static-analysis diagnostics.
+
+    Accepts :class:`~repro.analysis.Diagnostic` objects or their
+    ``to_dict()`` payloads (the form benchmarks store in
+    ``extra_info["diagnostics"]``).
+    """
+    lines = [heading, ""]
+    for item in diagnostics:
+        payload = item.to_dict() if hasattr(item, "to_dict") else dict(item)
+        location = f" `{payload['location']}`" if payload.get("location") else ""
+        hint = f" — {payload['hint']}" if payload.get("hint") else ""
+        lines.append(
+            f"- **{payload.get('code', '?')}** "
+            f"({payload.get('severity', '?')}){location}: "
+            f"{payload.get('message', '')}{hint}"
+        )
+    lines.append("")
+    return lines
+
+
 def render_report(data: Dict[str, Any]) -> str:
     """Markdown report from a pytest-benchmark JSON payload."""
     lines = ["# Tango reproduction — benchmark report", ""]
@@ -52,7 +73,8 @@ def render_report(data: Dict[str, Any]) -> str:
         if mean is not None:
             lines.append(f"Harness wall time: {mean:.2f} s")
             lines.append("")
-        extra = bench.get("extra_info") or {}
+        extra = dict(bench.get("extra_info") or {})
+        diagnostics = extra.pop("diagnostics", None)
         if extra:
             lines.append("Reported results:")
             for key, value in extra.items():
@@ -61,8 +83,11 @@ def render_report(data: Dict[str, Any]) -> str:
                     lines.extend(_format_value(value, indent=1))
                 else:
                     lines.append(f"- **{key}**: {value}")
-        else:
+        elif diagnostics is None:
             lines.append("(no extra_info recorded)")
+        if diagnostics:
+            lines.append("")
+            lines.extend(render_diagnostics(diagnostics))
         lines.append("")
     return "\n".join(lines)
 

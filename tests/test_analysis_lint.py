@@ -1,0 +1,136 @@
+"""The AST determinism linter (repro.analysis.lint)."""
+
+import io
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import lint_paths, lint_source, main
+
+SRC_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def _codes(source, relpath="core/example.py"):
+    return [d.code for d in lint_source(source, relpath)]
+
+
+# -- TNG030: wall clock -------------------------------------------------------
+def test_wall_clock_call_is_flagged():
+    assert _codes("import time\nstart = time.time()\n") == ["TNG030"]
+    assert _codes("t = time.perf_counter()\n") == ["TNG030"]
+    assert _codes("from datetime import datetime\nd = datetime.now()\n") == ["TNG030"]
+
+
+def test_wall_clock_allowed_inside_sim():
+    assert _codes("import time\nstart = time.time()\n", "sim/clock.py") == []
+
+
+def test_virtual_clock_reads_are_fine():
+    assert _codes("now = clock.now_ms\n") == []
+
+
+# -- TNG031: unseeded randomness ---------------------------------------------
+def test_random_import_is_flagged():
+    assert _codes("import random\n") == ["TNG031"]
+    assert _codes("from random import shuffle\n") == ["TNG031"]
+
+
+def test_numpy_module_level_random_is_flagged():
+    assert _codes("import numpy as np\nx = np.random.random()\n") == ["TNG031"]
+    assert _codes("gen = np.random.default_rng()\n") == ["TNG031"]
+
+
+def test_random_allowed_in_rng_module():
+    assert _codes("import numpy as np\ng = np.random.default_rng(0)\n", "sim/rng.py") == []
+
+
+def test_seeded_rng_usage_is_fine():
+    assert _codes("value = rng.uniform(0, 1)\n") == []
+
+
+# -- TNG032: unordered iteration ---------------------------------------------
+def test_for_over_set_call_is_flagged():
+    assert _codes("for item in set(items):\n    use(item)\n") == ["TNG032"]
+
+
+def test_for_over_set_literal_is_flagged():
+    assert _codes("for item in {a, b}:\n    use(item)\n") == ["TNG032"]
+
+
+def test_comprehension_over_set_is_flagged():
+    assert _codes("out = [f(x) for x in frozenset(items)]\n") == ["TNG032"]
+
+
+def test_sorted_set_iteration_is_fine():
+    assert _codes("for item in sorted(set(items)):\n    use(item)\n") == []
+
+
+def test_set_membership_is_fine():
+    assert _codes("if x in {1, 2, 3}:\n    pass\n") == []
+
+
+# -- TNG033: mutable defaults -------------------------------------------------
+def test_mutable_default_list_is_flagged():
+    assert _codes("def f(items=[]):\n    return items\n") == ["TNG033"]
+
+
+def test_mutable_default_constructor_is_flagged():
+    assert _codes("def f(cache=dict()):\n    return cache\n") == ["TNG033"]
+
+
+def test_mutable_kwonly_default_is_flagged():
+    assert _codes("def f(*, seen=set()):\n    return seen\n") == ["TNG033"]
+
+
+def test_none_default_is_fine():
+    assert _codes("def f(items=None):\n    return items or []\n") == []
+
+
+def test_tuple_default_is_fine():
+    assert _codes("def f(items=()):\n    return items\n") == []
+
+
+# -- TNG034: unparseable source -----------------------------------------------
+def test_syntax_error_is_reported_not_raised():
+    (diag,) = lint_source("def broken(:\n", "core/oops.py").diagnostics
+    assert diag.code == "TNG034"
+    assert diag.location == "core/oops.py:1"
+
+
+def test_syntax_error_does_not_abort_sibling_files(tmp_path):
+    (tmp_path / "a_bad.py").write_text("def broken(:\n")
+    (tmp_path / "b_good.py").write_text("import random\n")
+    report = lint_paths([str(tmp_path)])
+    assert sorted(d.code for d in report) == ["TNG031", "TNG034"]
+
+
+def test_main_rejects_missing_target_cleanly():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["/no/such/dir"], out=io.StringIO())
+    assert excinfo.value.code == 2
+
+
+# -- whole-package self-lint --------------------------------------------------
+def test_src_repro_passes_the_determinism_linter():
+    report = lint_paths([str(SRC_ROOT)])
+    assert report.errors() == []
+    assert report.warnings() == []
+
+
+def test_main_exits_zero_on_clean_tree():
+    out = io.StringIO()
+    assert main([str(SRC_ROOT)], out=out) == 0
+    assert "0 error(s)" in out.getvalue()
+
+
+def test_main_exits_nonzero_on_violation(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import random\n")
+    out = io.StringIO()
+    assert main([str(tmp_path)], out=out) == 1
+    assert "TNG031" in out.getvalue()
+
+
+def test_lint_reports_file_and_line_location():
+    (code,) = lint_source("x = 1\nimport random\n", "apps/demo.py").diagnostics
+    assert code.location == "apps/demo.py:2"

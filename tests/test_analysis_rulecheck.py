@@ -1,0 +1,135 @@
+"""Static rule-set verification (repro.analysis.rulecheck)."""
+
+import pytest
+
+from repro.analysis import DiagnosticReport, Severity, check_rules
+from repro.analysis.diagnostics import CODE_CATALOG, Diagnostic
+from repro.openflow.actions import DropAction, OutputAction
+from repro.openflow.match import IpPrefix, Match
+from repro.openflow.messages import FlowMod, FlowModCommand
+
+
+def _add(match, priority, port=1):
+    return FlowMod(
+        FlowModCommand.ADD, match, priority=priority, actions=(OutputAction(port),)
+    )
+
+
+WIDE = Match(ip_dst=IpPrefix(0x0A000000, 8))  # 10.0.0.0/8
+NARROW = Match(ip_dst=IpPrefix(0x0A010000, 16))  # 10.1.0.0/16
+OTHER = Match(ip_dst=IpPrefix(0xC0A80000, 16))  # 192.168.0.0/16
+
+
+def test_clean_batch_has_no_diagnostics():
+    report = check_rules([_add(WIDE, 1), _add(OTHER, 2)])
+    assert len(report) == 0
+    assert not report.has_errors
+
+
+def test_duplicate_rule_with_conflicting_actions_is_tng001_error():
+    mods = [
+        _add(NARROW, 5, port=1),
+        FlowMod(FlowModCommand.ADD, NARROW, priority=5, actions=(DropAction(),)),
+    ]
+    report = check_rules(mods, location="s1")
+    codes = [d.code for d in report]
+    assert codes == ["TNG001"]
+    assert report.has_errors
+    assert report.diagnostics[0].location == "s1"
+
+
+def test_identical_duplicate_with_same_actions_is_not_flagged():
+    report = check_rules([_add(NARROW, 5), _add(NARROW, 5)])
+    assert [d.code for d in report] == []
+
+
+def test_shadowed_rule_is_tng002_error():
+    # Higher-priority /8 fully covers the later /16: the /16 never matches.
+    report = check_rules([_add(WIDE, 10), _add(NARROW, 1)])
+    assert [d.code for d in report] == ["TNG002"]
+    assert report.errors()[0].severity is Severity.ERROR
+    assert "shadowed" in report.errors()[0].message
+
+
+def test_more_specific_rule_at_higher_priority_is_fine():
+    report = check_rules([_add(NARROW, 10), _add(WIDE, 1)])
+    assert [d.code for d in report] == []
+
+
+def test_equal_priority_overlap_with_different_actions_is_tng003_warning():
+    overlapping = Match(ip_src=IpPrefix(0x0A000000, 8), ip_dst=IpPrefix(0x0A010000, 16))
+    partially = Match(ip_dst=IpPrefix(0x0A010000, 16), tp_dst=80)
+    mods = [
+        _add(overlapping, 5, port=1),
+        FlowMod(FlowModCommand.ADD, partially, priority=5, actions=(DropAction(),)),
+    ]
+    report = check_rules(mods)
+    assert [d.code for d in report] == ["TNG003"]
+    assert not report.has_errors  # warning only
+
+
+def test_dangling_delete_is_tng004_warning():
+    mods = [FlowMod(FlowModCommand.DELETE, NARROW, priority=5)]
+    report = check_rules(mods)
+    assert [d.code for d in report] == ["TNG004"]
+
+
+def test_delete_selecting_batch_add_is_clean():
+    mods = [_add(NARROW, 5), FlowMod(FlowModCommand.DELETE, NARROW, priority=5)]
+    assert len(check_rules(mods)) == 0
+
+
+def test_delete_selecting_existing_rule_is_clean():
+    mods = [FlowMod(FlowModCommand.DELETE, NARROW, priority=5)]
+    assert len(check_rules(mods, existing=[(NARROW, 5)])) == 0
+
+
+def test_modify_after_delete_of_its_target_dangles():
+    mods = [
+        _add(NARROW, 5),
+        FlowMod(FlowModCommand.DELETE, NARROW, priority=5),
+        FlowMod(FlowModCommand.MODIFY, NARROW, priority=5),
+    ]
+    report = check_rules(mods)
+    assert [d.code for d in report] == ["TNG004"]
+    assert "MOD #2" in report.diagnostics[0].message
+
+
+def test_pairwise_limit_skips_quadratic_checks_only():
+    mods = [_add(WIDE, 10), _add(NARROW, 1)]
+    report = check_rules(mods, pairwise_limit=1)
+    assert [d.code for d in report] == []  # TNG002 suppressed above the cap
+
+
+def test_report_format_orders_errors_first():
+    report = check_rules(
+        [
+            _add(NARROW, 5),
+            FlowMod(FlowModCommand.MODIFY, OTHER, priority=9),  # TNG004 warning
+            _add(WIDE, 10),
+            _add(Match(ip_dst=IpPrefix(0x0A020000, 16)), 1),  # TNG002 error
+        ]
+    )
+    lines = report.format().splitlines()
+    assert lines[0].startswith("TNG002 error")
+    assert any(line.startswith("TNG004 warning") for line in lines[1:])
+
+
+def test_diagnostic_codes_are_registered():
+    with pytest.raises(ValueError):
+        Diagnostic(code="TNG999", severity=Severity.ERROR, message="nope")
+    for code in ("TNG001", "TNG002", "TNG003", "TNG004"):
+        assert code in CODE_CATALOG
+
+
+def test_report_to_dicts_round_trip():
+    report = DiagnosticReport()
+    report.add("TNG001", Severity.ERROR, "msg", location="s1", hint="h")
+    (payload,) = report.to_dicts()
+    assert payload == {
+        "code": "TNG001",
+        "severity": "error",
+        "message": "msg",
+        "location": "s1",
+        "hint": "h",
+    }

@@ -57,9 +57,10 @@ def test_dionysus_prioritises_critical_path():
     """The head of a long chain must be issued before independent requests."""
     executor = _executor("a")
     dag = RequestDag()
-    singles = [dag.new_request("a", FlowModCommand.ADD, _match(i)) for i in range(3)]
+    for i in range(3):
+        dag.new_request("a", FlowModCommand.ADD, _match(i))
     head = dag.new_request("a", FlowModCommand.ADD, _match(10))
-    tail = dag.new_request("a", FlowModCommand.ADD, _match(11), after=[head])
+    dag.new_request("a", FlowModCommand.ADD, _match(11), after=[head])
     result = DionysusScheduler(executor).schedule(dag)
     order = [r.request.request_id for r in result.records]
     assert order[0] == head.request_id

@@ -103,7 +103,7 @@ def test_infer_small_profile_end_to_end():
 def test_schedule_via_facade():
     tango = Tango(seed=3)
     profile = make_cache_test_profile(FIFO, (64, None), layer_means_ms=(0.5, 3.0))
-    name = tango.register_profile(profile, name="sw")
+    tango.register_profile(profile, name="sw")
     dag = RequestDag()
     for i in range(10):
         dag.new_request("sw", FlowModCommand.ADD, _match(i), priority=i)

@@ -111,9 +111,7 @@ def _match(i):
 def test_enforcement_rewrites_priorities():
     dag = RequestDag()
     parent = dag.new_request("s", FlowModCommand.ADD, _match(0), priority=123)
-    child = dag.new_request(
-        "s", FlowModCommand.ADD, _match(1), priority=456, after=[parent]
-    )
+    dag.new_request("s", FlowModCommand.ADD, _match(1), priority=456, after=[parent])
     enforced = enforce_topological_priorities(dag, base=1000)
     requests = {r.match.key(): r for r in enforced.requests}
     assert requests[_match(0).key()].priority > requests[_match(1).key()].priority
@@ -132,7 +130,7 @@ def test_enforcement_flat_dag_single_priority():
 def test_enforcement_preserves_structure():
     dag = RequestDag()
     a = dag.new_request("s", FlowModCommand.ADD, _match(0))
-    b = dag.new_request("s", FlowModCommand.MODIFY, _match(1), after=[a])
+    dag.new_request("s", FlowModCommand.MODIFY, _match(1), after=[a])
     enforced = enforce_topological_priorities(dag)
     assert len(enforced) == 2
     ready = enforced.independent_requests()

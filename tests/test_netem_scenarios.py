@@ -81,7 +81,7 @@ def test_link_failure_reroutes_affected_flows():
     network = _network()
     for _ in range(5):
         network.new_flow("s1", "s2")
-    unaffected = network.new_flow("s1", "s3")
+    network.new_flow("s1", "s3")
     network.preinstall_flow_rules()
 
     scenario = LinkFailureScenario(network, ("s1", "s2"))

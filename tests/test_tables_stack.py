@@ -159,7 +159,8 @@ def test_geometry_layer_narrow_capacity():
     stack = RankedTableStack(
         [TableLayer("tcam", geometry=geometry), TableLayer("sw", capacity=None)], FIFO
     )
-    entries = [stack.insert(_match(i), 1, ACTIONS, float(i)) for i in range(6)]
+    for i in range(6):
+        stack.insert(_match(i), 1, ACTIONS, float(i))
     assert stack.layer_occupancy() == [4, 2]
 
 

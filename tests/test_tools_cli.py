@@ -64,3 +64,17 @@ def test_schedule_subcommand_te():
         == 0
     )
     assert "vs Dionysus" in out.getvalue()
+
+
+def test_schedule_subcommand_strict_verifies_before_scheduling():
+    out = io.StringIO()
+    assert (
+        main(
+            ["schedule", "--scenario", "lf", "--flows", "10", "--strict"],
+            out=out,
+        )
+        == 0
+    )
+    text = out.getvalue()
+    assert "static verification ok" in text
+    assert "baseline" in text

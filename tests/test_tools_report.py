@@ -66,3 +66,34 @@ def test_main_reports_bad_json(tmp_path):
     path = tmp_path / "bad.json"
     path.write_text("{not json")
     assert main([str(path)], out=io.StringIO()) == 1
+
+
+def test_render_diagnostics_section():
+    from repro.analysis import DiagnosticReport, Severity
+
+    report = DiagnosticReport()
+    report.add("TNG020", Severity.ERROR, "batch over capacity", location="s1",
+               hint="shrink the batch")
+    payload = {
+        "benchmarks": [
+            {
+                "name": "bench_capacity_guard",
+                "stats": {"mean": 0.5},
+                "extra_info": {"diagnostics": report.to_dicts()},
+            }
+        ]
+    }
+    rendered = render_report(payload)
+    assert "### Diagnostics" in rendered
+    assert "**TNG020** (error) `s1`: batch over capacity" in rendered
+    assert "shrink the batch" in rendered
+
+
+def test_render_diagnostics_accepts_diagnostic_objects():
+    from repro.analysis import DiagnosticReport, Severity
+    from repro.tools.report import render_diagnostics
+
+    report = DiagnosticReport()
+    report.add("TNG010", Severity.ERROR, "cycle")
+    lines = render_diagnostics(list(report))
+    assert any("TNG010" in line for line in lines)
