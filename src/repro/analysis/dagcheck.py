@@ -28,8 +28,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import networkx as nx
-
 from repro.analysis.diagnostics import DiagnosticReport, Severity
 from repro.core.requests import RequestDag, SwitchRequest
 from repro.core.scheduler import DurationEstimator
@@ -68,11 +66,9 @@ def check_dag(
 
 # -- TNG010 ------------------------------------------------------------------
 def _check_cycles(dag: RequestDag, report: DiagnosticReport) -> bool:
-    graph = dag._graph
-    if nx.is_directed_acyclic_graph(graph):
+    if dag.is_acyclic():
         return True
-    cycle_edges = nx.find_cycle(graph)
-    members = [edge[0] for edge in cycle_edges]
+    members = dag.find_cycle_ids()
     path = " -> ".join(str(m) for m in members + members[:1])
     report.add(
         "TNG010",
@@ -101,8 +97,7 @@ def _check_orphan_barriers(
     for request in dag.requests:
         if request.command is not FlowModCommand.DELETE:
             continue
-        has_dependents = any(True for _ in dag._graph.successors(request.request_id))
-        if not has_dependents:
+        if not dag.successor_ids(request.request_id):
             continue
         selects_add = any(
             add.priority == request.priority and request.match.covers(add.match)
@@ -113,7 +108,7 @@ def _check_orphan_barriers(
             for match, priority in existing_by_location.get(request.location, ())
         )
         if not (selects_add or selects_existing):
-            dependents = sorted(dag._graph.successors(request.request_id))
+            dependents = sorted(dag.successor_ids(request.request_id))
             report.add(
                 "TNG011",
                 Severity.WARNING,
@@ -136,9 +131,9 @@ def _check_deadlines(
     # Bound 1: dependency-chain critical path.  Every request must wait
     # for its whole ancestor chain, whatever the scheduler does.
     earliest_finish: Dict[int, float] = {}
-    for rid in nx.topological_sort(dag._graph):
+    for rid in dag.topological_order():
         dep_bound = max(
-            (earliest_finish[p] for p in dag._graph.predecessors(rid)), default=0.0
+            (earliest_finish[p] for p in dag.predecessor_ids(rid)), default=0.0
         )
         earliest_finish[rid] = dep_bound + durations[rid]
 
@@ -194,7 +189,7 @@ def _check_guard_times(
     report: DiagnosticReport,
 ) -> None:
     requests = {r.request_id: r for r in dag.requests}
-    for first_id, then_id in sorted(dag._graph.edges()):
+    for first_id, then_id in sorted(dag.edge_ids()):
         first, then = requests[first_id], requests[then_id]
         if first.location == then.location:
             continue  # the switch itself serialises same-switch requests

@@ -39,8 +39,8 @@ class _FixedOrderScheduler:
             for request in ordered:
                 dep_finish = max(
                     (
-                        finish_times[d.request_id]
-                        for d in dag.dependencies_of(request)
+                        finish_times[p]
+                        for p in dag.predecessor_ids(request.request_id)
                     ),
                     default=self.executor.epoch_ms,
                 )

@@ -11,13 +11,23 @@ A *switch request* is one rule operation targeted at one switch::
 Requests may depend on each other (consistent-update ordering, barrier
 priorities for negation); the dependencies form a directed acyclic graph
 that the Tango scheduler consumes.
+
+Scheduling queries are *incremental*: the DAG maintains a per-node
+pending-predecessor counter and a ready set, so
+:meth:`RequestDag.independent_requests` costs O(ready) and
+:meth:`RequestDag.mark_done` costs O(out-degree) instead of rescanning
+all V requests per round (which made chain-heavy DAGs quadratic).
+:meth:`RequestDag.critical_path_lengths` is cached and invalidated on
+structural mutation.  Lookahead schedulers that explore hypothetical
+completion orders use :class:`ReadySimulation`, an undoable cursor over
+the same counters that never copies the DAG.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import networkx as nx
 
@@ -48,6 +58,31 @@ class SwitchRequest:
         )
 
 
+@dataclass
+class DagOpCounters:
+    """Algorithmic-work counters for the DAG's scheduling queries.
+
+    These feed the scalability guard tests and the ``tango-bench``
+    harness: they count *operations*, not wall time, so an accidental
+    O(V*E)-per-round regression fails loudly and deterministically.
+
+    Attributes:
+        edge_visits: successor/predecessor edges touched while
+            maintaining the ready set (``mark_done``, ``reset``).
+        ready_yields: requests returned by ``independent_requests``.
+    """
+
+    edge_visits: int = 0
+    ready_yields: int = 0
+
+    def total(self) -> int:
+        return self.edge_visits + self.ready_yields
+
+    def clear(self) -> None:
+        self.edge_visits = 0
+        self.ready_yields = 0
+
+
 class RequestDag:
     """A DAG of switch requests.
 
@@ -61,6 +96,15 @@ class RequestDag:
         self._requests: Dict[int, SwitchRequest] = {}
         self._done: Set[int] = set()
         self._ids = itertools.count()
+        # Incremental scheduling state: number of not-yet-done
+        # predecessors per node, the set of ready (pending, unblocked)
+        # nodes, and each node's insertion sequence (ready sets are
+        # reported in insertion order, matching the historical scan).
+        self._pending: Dict[int, int] = {}
+        self._ready: Set[int] = set()
+        self._seq: Dict[int, int] = {}
+        self._critical_cache: Optional[Dict[int, int]] = None
+        self.ops = DagOpCounters()
 
     # -- construction ---------------------------------------------------------
     def new_request(
@@ -91,8 +135,13 @@ class RequestDag:
     def add_request(self, request: SwitchRequest) -> None:
         if request.request_id in self._requests:
             raise ValueError(f"duplicate request id {request.request_id}")
-        self._requests[request.request_id] = request
-        self._graph.add_node(request.request_id)
+        rid = request.request_id
+        self._requests[rid] = request
+        self._graph.add_node(rid)
+        self._seq[rid] = len(self._seq)
+        self._pending[rid] = 0
+        self._ready.add(rid)
+        self._critical_cache = None
 
     def add_dependency(
         self, first: SwitchRequest, then: SwitchRequest, check_cycle: bool = True
@@ -106,13 +155,29 @@ class RequestDag:
                 call :meth:`validate_acyclic` once at the end.
 
         Raises:
+            KeyError: either endpoint was never added to this DAG.
             ValueError: if the edge would create a cycle (the upper layer
                 must break dependency loops before scheduling).
         """
-        self._graph.add_edge(first.request_id, then.request_id)
+        fid, tid = first.request_id, then.request_id
+        if fid not in self._requests or tid not in self._requests:
+            missing = fid if fid not in self._requests else tid
+            raise KeyError(f"unknown request {missing}")
+        if self._graph.has_edge(fid, tid):
+            return  # idempotent: the constraint already holds
+        self._graph.add_edge(fid, tid)
+        blocked = fid not in self._done
+        if blocked:
+            self._pending[tid] += 1
+            self._ready.discard(tid)
         if check_cycle and not nx.is_directed_acyclic_graph(self._graph):
-            self._graph.remove_edge(first.request_id, then.request_id)
+            self._graph.remove_edge(fid, tid)
+            if blocked:
+                self._pending[tid] -= 1
+                if self._pending[tid] == 0 and tid not in self._done:
+                    self._ready.add(tid)
             raise ValueError("dependency would create a cycle")
+        self._critical_cache = None
 
     def validate_acyclic(self) -> None:
         """Raise ValueError if the dependency graph contains a cycle."""
@@ -134,41 +199,256 @@ class RequestDag:
         return len(self._done) == len(self._requests)
 
     def independent_requests(self) -> List[SwitchRequest]:
-        """Pending requests whose dependencies have all completed."""
-        ready = []
-        for rid, request in self._requests.items():
-            if rid in self._done:
-                continue
-            if all(p in self._done for p in self._graph.predecessors(rid)):
-                ready.append(request)
-        return ready
+        """Pending requests whose dependencies have all completed.
+
+        O(ready log ready): the ready set is maintained incrementally by
+        :meth:`mark_done`; the sort restores insertion order.
+        """
+        ready = sorted(self._ready, key=self._seq.__getitem__)
+        self.ops.ready_yields += len(ready)
+        return [self._requests[rid] for rid in ready]
 
     def dependencies_of(self, request: SwitchRequest) -> List[SwitchRequest]:
         return [self._requests[p] for p in self._graph.predecessors(request.request_id)]
 
+    def successors_of(self, request: SwitchRequest) -> List[SwitchRequest]:
+        """Requests that directly depend on ``request``."""
+        return [self._requests[s] for s in self._graph.successors(request.request_id)]
+
+    def predecessor_ids(self, request_id: int) -> List[int]:
+        """Ids of the requests ``request_id`` directly depends on."""
+        return list(self._graph.predecessors(request_id))
+
+    def successor_ids(self, request_id: int) -> List[int]:
+        """Ids of the requests that directly depend on ``request_id``."""
+        return list(self._graph.successors(request_id))
+
+    def edge_ids(self) -> List[Tuple[int, int]]:
+        """All dependency edges as ``(first_id, then_id)`` pairs."""
+        return list(self._graph.edges())
+
+    def ready_after(self, done: Iterable[int]) -> List[SwitchRequest]:
+        """Requests that would be ready if exactly ``done`` had completed.
+
+        One O(V + E) pass over the DAG, independent of the live
+        completion state; use :meth:`simulation` instead when exploring
+        many hypothetical completion orders incrementally.
+        """
+        done_set = set(done)
+        ready = []
+        for rid, request in self._requests.items():
+            if rid in done_set:
+                continue
+            if all(p in done_set for p in self._graph.predecessors(rid)):
+                ready.append(request)
+        return ready
+
+    def simulation(self, done: Iterable[int] = ()) -> "ReadySimulation":
+        """An undoable what-if completion cursor over this DAG."""
+        return ReadySimulation(self, done)
+
     def mark_done(self, request: SwitchRequest) -> None:
-        if request.request_id not in self._requests:
-            raise KeyError(f"unknown request {request.request_id}")
-        self._done.add(request.request_id)
+        rid = request.request_id
+        if rid not in self._requests:
+            raise KeyError(f"unknown request {rid}")
+        if rid in self._done:
+            return  # idempotent, and the counters must not double-decrement
+        self._done.add(rid)
+        self._ready.discard(rid)
+        pending = self._pending
+        for succ in self._graph.successors(rid):
+            self.ops.edge_visits += 1
+            pending[succ] -= 1
+            if pending[succ] == 0 and succ not in self._done:
+                self._ready.add(succ)
 
     def reset(self) -> None:
         """Forget completion state (to re-run the same DAG)."""
         self._done.clear()
+        self._rebuild_ready()
+
+    def _rebuild_ready(self) -> None:
+        """Recompute pending counters and the ready set from scratch."""
+        done = self._done
+        self._pending = {
+            rid: sum(1 for p in self._graph.predecessors(rid) if p not in done)
+            for rid in self._requests
+        }
+        self.ops.edge_visits += self._graph.number_of_edges()
+        self._ready = {
+            rid
+            for rid, count in self._pending.items()
+            if count == 0 and rid not in done
+        }
 
     # -- structure metrics ----------------------------------------------------
+    def is_acyclic(self) -> bool:
+        """True when the dependency graph contains no cycle."""
+        return bool(nx.is_directed_acyclic_graph(self._graph))
+
+    def find_cycle_ids(self) -> List[int]:
+        """Request ids forming one dependency cycle ([] when acyclic)."""
+        try:
+            cycle_edges = nx.find_cycle(self._graph)
+        except nx.NetworkXNoCycle:
+            return []
+        return [edge[0] for edge in cycle_edges]
+
+    def topological_order(self) -> List[int]:
+        """Request ids in one (deterministic) topological order.
+
+        Raises:
+            networkx.NetworkXUnfeasible: the graph contains a cycle.
+        """
+        return list(nx.topological_sort(self._graph))
+
     def critical_path_lengths(self) -> Dict[int, int]:
         """Longest path (in requests) from each node to any sink.
 
         Dionysus-style schedulers prioritise requests on long chains.
+        The result is cached until the DAG structure changes; callers
+        receive a private copy.
         """
-        lengths: Dict[int, int] = {}
-        for node in reversed(list(nx.topological_sort(self._graph))):
-            succ = list(self._graph.successors(node))
-            lengths[node] = 1 + max((lengths[s] for s in succ), default=0)
-        return lengths
+        if self._critical_cache is None:
+            lengths: Dict[int, int] = {}
+            for node in reversed(list(nx.topological_sort(self._graph))):
+                succ = list(self._graph.successors(node))
+                lengths[node] = 1 + max((lengths[s] for s in succ), default=0)
+            self._critical_cache = lengths
+        return dict(self._critical_cache)
 
     def depth(self) -> int:
         """Number of levels in the DAG (1 = fully independent)."""
         if not self._requests:
             return 0
         return max(self.critical_path_lengths().values())
+
+
+class ReadySimulation:
+    """Incremental what-if completion cursor over a :class:`RequestDag`.
+
+    Lookahead schedulers (``PrefixTangoScheduler._plan``) explore a tree
+    of hypothetical completion orders.  This cursor maintains the same
+    pending-predecessor counters as the DAG itself, so completing a batch
+    costs O(batch out-degree) and is undoable in the same time -- no
+    frozenset unions, no O(V*E) rescans, and no mutation of the DAG.
+
+    Usage::
+
+        sim = dag.simulation()
+        sim.complete([r.request_id for r in prefix])   # push a frame
+        ...recurse on sim.ready()...
+        sim.undo()                                     # pop the frame
+        sim.commit([...])                              # permanent frame
+
+    ``ready()`` reports requests in DAG insertion order, matching
+    :meth:`RequestDag.independent_requests`.
+    """
+
+    def __init__(self, dag: RequestDag, done: Iterable[int] = ()) -> None:
+        self._dag = dag
+        self._done: Set[int] = set(done)
+        graph = dag._graph
+        self._pending = {
+            rid: sum(1 for p in graph.predecessors(rid) if p not in self._done)
+            for rid in dag._requests
+        }
+        self._ready = {
+            rid
+            for rid, count in self._pending.items()
+            if count == 0 and rid not in self._done
+        }
+        self._frames: List[List[int]] = []
+        # One O(V + E) pass to build the counters; charged to the DAG's
+        # op counters like RequestDag._rebuild_ready.
+        dag.ops.edge_visits += dag._graph.number_of_edges()
+
+    def ready_ids(self) -> List[int]:
+        """Ready request ids, in DAG insertion order."""
+        ready = sorted(self._ready, key=self._dag._seq.__getitem__)
+        self._dag.ops.ready_yields += len(ready)
+        return ready
+
+    def ready(self) -> List[SwitchRequest]:
+        """Ready requests, in DAG insertion order."""
+        requests = self._dag._requests
+        return [requests[rid] for rid in self.ready_ids()]
+
+    def is_done(self) -> bool:
+        return len(self._done) == len(self._dag._requests)
+
+    def _complete_one(self, rid: int) -> None:
+        self._done.add(rid)
+        self._ready.discard(rid)
+        pending = self._pending
+        ops = self._dag.ops
+        for succ in self._dag._graph.successors(rid):
+            ops.edge_visits += 1
+            pending[succ] -= 1
+            if pending[succ] == 0 and succ not in self._done:
+                self._ready.add(succ)
+
+    def complete(self, request_ids: Iterable[int]) -> None:
+        """Hypothetically complete ``request_ids``; undoable via :meth:`undo`.
+
+        Raises:
+            ValueError: a request is already (hypothetically) complete.
+        """
+        frame: List[int] = []
+        for rid in request_ids:
+            if rid in self._done:
+                raise ValueError(f"request {rid} already completed in simulation")
+            self._complete_one(rid)
+            frame.append(rid)
+        self._frames.append(frame)
+
+    def undo(self) -> None:
+        """Revert the most recent :meth:`complete` frame.
+
+        Raises:
+            IndexError: no frame to undo.
+        """
+        frame = self._frames.pop()
+        pending = self._pending
+        ops = self._dag.ops
+        for rid in reversed(frame):
+            for succ in self._dag._graph.successors(rid):
+                ops.edge_visits += 1
+                pending[succ] += 1
+                self._ready.discard(succ)
+            self._done.discard(rid)
+            if pending[rid] == 0:
+                self._ready.add(rid)
+
+    def commit(self, request_ids: Iterable[int]) -> None:
+        """Complete ``request_ids`` permanently (no undo frame).
+
+        Schedulers use this to keep a long-lived cursor in sync with the
+        requests they actually issued, so per-round planning never pays
+        an O(V + E) rebuild.
+        """
+        for rid in request_ids:
+            if rid not in self._done:
+                self._complete_one(rid)
+
+
+def chain_requests(
+    dag: RequestDag,
+    specs: Sequence[Tuple[str, FlowModCommand, Match, int]],
+) -> List[SwitchRequest]:
+    """Add ``specs`` as a dependency chain (bulk, one final cycle check).
+
+    Each spec is ``(location, command, match, priority)``; request *i*
+    depends on request *i-1*.  Edges follow creation order, so acyclicity
+    holds by construction and the per-edge check is skipped.
+    """
+    requests: List[SwitchRequest] = []
+    previous: Optional[SwitchRequest] = None
+    for location, command, match, priority in specs:
+        request = dag.new_request(location, command, match, priority=priority)
+        if previous is not None:
+            dag.add_dependency(previous, request, check_cycle=False)
+        previous = request
+        requests.append(request)
+    dag.validate_acyclic()
+    return requests

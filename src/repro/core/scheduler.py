@@ -23,11 +23,12 @@ Two extensions from the paper are implemented:
 
 from __future__ import annotations
 
+from collections import Counter, defaultdict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.patterns import RewritePattern, TangoPatternDatabase
-from repro.core.requests import RequestDag, SwitchRequest
+from repro.core.requests import ReadySimulation, RequestDag, SwitchRequest
 from repro.openflow.channel import ControlChannel
 from repro.openflow.messages import FlowModCommand
 
@@ -98,23 +99,38 @@ class NetworkExecutor:
 
 
 def count_commands(requests: Sequence[SwitchRequest]) -> Dict[FlowModCommand, int]:
-    counts: Dict[FlowModCommand, int] = {}
-    for request in requests:
-        counts[request.command] = counts.get(request.command, 0) + 1
-    return counts
+    return Counter(request.command for request in requests)
 
 
 class _OrderingOracle:
-    """The paper's ``orderingTangoOracle``: pick the best rewrite pattern."""
+    """The paper's ``orderingTangoOracle``: pick the best rewrite pattern.
+
+    ``choose`` is memoized per batch: lookahead schedulers re-score the
+    same independent set many times while exploring prefix cuts, and the
+    scoring/ordering is a pure function of the batch's (id, command,
+    priority) triples for a fixed pattern set.  The cache is bounded
+    (oldest entry evicted) and private to this oracle instance.
+    """
+
+    _CACHE_LIMIT = 4096
 
     def __init__(self, patterns: Sequence[RewritePattern]) -> None:
         if not patterns:
             raise ValueError("need at least one rewrite pattern")
         self.patterns = list(patterns)
+        self._cache: Dict[tuple, Tuple[RewritePattern, List[SwitchRequest]]] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     def choose(
         self, requests: Sequence[SwitchRequest]
     ) -> Tuple[RewritePattern, List[SwitchRequest]]:
+        key = tuple((r.request_id, r.command, r.priority) for r in requests)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached[0], list(cached[1])
+        self.cache_misses += 1
         counts = count_commands(requests)
         best_pattern = max(self.patterns, key=lambda p: p.score_counts(counts))
         ordered = sorted(
@@ -122,7 +138,10 @@ class _OrderingOracle:
             key=lambda r: best_pattern.order_key(r.command, r.priority)
             + (r.request_id,),
         )
-        return best_pattern, ordered
+        if len(self._cache) >= self._CACHE_LIMIT:
+            self._cache.pop(next(iter(self._cache)))
+        self._cache[key] = (best_pattern, ordered)
+        return best_pattern, list(ordered)
 
 
 class BasicTangoScheduler:
@@ -209,8 +228,8 @@ class BasicTangoScheduler:
             for request in ordered:
                 dep_finish = max(
                     (
-                        finish_times[d.request_id]
-                        for d in dag.dependencies_of(request)
+                        finish_times[p]
+                        for p in dag.predecessor_ids(request.request_id)
                     ),
                     default=self.executor.epoch_ms,
                 )
@@ -285,23 +304,14 @@ class PrefixTangoScheduler(BasicTangoScheduler):
 
     def _estimate_batch_ms(self, ordered: Sequence[SwitchRequest]) -> float:
         """Estimated makespan of a batch (per-switch serial, cross parallel)."""
-        per_switch: Dict[str, float] = {}
+        per_switch: Dict[str, float] = defaultdict(float)
         for request in ordered:
-            per_switch[request.location] = per_switch.get(
-                request.location, 0.0
-            ) + self.estimate(request)
+            per_switch[request.location] += self.estimate(request)
         return max(per_switch.values(), default=0.0)
 
     def _ready(self, dag: RequestDag, done: frozenset) -> List[SwitchRequest]:
-        """Requests whose dependencies are all in ``done`` (simulation)."""
-        ready = []
-        for request in dag.requests:
-            rid = request.request_id
-            if rid in done:
-                continue
-            if all(p in done for p in dag._graph.predecessors(rid)):
-                ready.append(request)
-        return ready
+        """Requests whose dependencies are all in ``done`` (one-shot)."""
+        return dag.ready_after(done)
 
     def _candidate_cuts(
         self, dag: RequestDag, ordered: Sequence[SwitchRequest]
@@ -309,37 +319,53 @@ class PrefixTangoScheduler(BasicTangoScheduler):
         """Prefix lengths whose completion unlocks new requests."""
         unlocking = set()
         for index, request in enumerate(ordered):
-            if any(True for _ in dag._graph.successors(request.request_id)):
+            if dag.successor_ids(request.request_id):
                 unlocking.add(index + 1)
         cuts = sorted(c for c in unlocking if c < len(ordered))
         return cuts[: self.max_prefixes]
 
     def _plan(
-        self, dag: RequestDag, done: frozenset, depth: int
+        self, sim: ReadySimulation, depth: int
     ) -> Tuple[float, Optional[int]]:
         """Best estimated remaining cost and the first-batch cut to take.
 
         Explores prefix cuts recursively while ``depth`` allows; beyond
         that, batches greedily to completion (estimation only -- nothing
-        is issued).
+        is issued).  ``sim`` is an undoable completion cursor
+        (:meth:`RequestDag.simulation`); every branch is completed then
+        undone in O(batch out-degree), replacing the former per-node
+        frozenset unions and full-DAG ready rescans.
         """
-        ready = self._ready(dag, done)
+        dag = sim._dag
+        ready = sim.ready()
         if not ready:
             return 0.0, None
         _, ordered = self.oracle.choose(ready)
-        full_ids = frozenset(r.request_id for r in ordered)
 
         if depth <= 0:
-            cost = self._estimate_batch_ms(ordered)
-            rest, _ = self._plan(dag, done | full_ids, 0)
-            return cost + rest, len(ordered)
+            # Greedy full batches to completion, iteratively (a deep
+            # recursion here would overflow on chain-shaped DAGs).
+            first_cut = len(ordered)
+            total = 0.0
+            frames = 0
+            while ready:
+                total += self._estimate_batch_ms(ordered)
+                sim.complete([r.request_id for r in ordered])
+                frames += 1
+                ready = sim.ready()
+                if ready:
+                    _, ordered = self.oracle.choose(ready)
+            for _ in range(frames):
+                sim.undo()
+            return total, first_cut
 
         best_cost = float("inf")
         best_cut: Optional[int] = None
         for cut in self._candidate_cuts(dag, ordered) + [len(ordered)]:
             prefix = ordered[:cut]
-            prefix_ids = frozenset(r.request_id for r in prefix)
-            rest, _ = self._plan(dag, done | prefix_ids, depth - 1)
+            sim.complete([r.request_id for r in prefix])
+            rest, _ = self._plan(sim, depth - 1)
+            sim.undo()
             cost = self._estimate_batch_ms(prefix) + rest
             if cost < best_cost:
                 best_cost = cost
@@ -353,22 +379,24 @@ class PrefixTangoScheduler(BasicTangoScheduler):
         result = ScheduleResult(makespan_ms=0.0)
         finish_times: Dict[int, float] = {}
         makespan = self.executor.epoch_ms
-        done_ids: set = set()
+        # One long-lived lookahead cursor, kept in sync with the issued
+        # requests via commit() -- no per-round O(V + E) rebuilds.
+        sim = dag.simulation(dag._done)
         while not dag.is_done():
             independent = dag.independent_requests()
             if not independent:
                 raise RuntimeError("DAG not done but no independent requests")
             pattern, ordered = self.oracle.choose(independent)
 
-            _, cut = self._plan(dag, frozenset(done_ids), self.lookahead_depth)
+            _, cut = self._plan(sim, self.lookahead_depth)
             issue_now = ordered[: cut if cut else len(ordered)]
 
             result.pattern_choices.append(pattern.name)
             for request in issue_now:
                 dep_finish = max(
                     (
-                        finish_times[d.request_id]
-                        for d in dag.dependencies_of(request)
+                        finish_times[p]
+                        for p in dag.predecessor_ids(request.request_id)
                     ),
                     default=self.executor.epoch_ms,
                 )
@@ -376,8 +404,8 @@ class PrefixTangoScheduler(BasicTangoScheduler):
                 finish_times[request.request_id] = record.finished_ms
                 result.records.append(record)
                 dag.mark_done(request)
-                done_ids.add(request.request_id)
                 makespan = max(makespan, record.finished_ms)
+            sim.commit(r.request_id for r in issue_now)
             result.rounds += 1
         result.makespan_ms = makespan - self.executor.epoch_ms
         result.deadline_misses = _count_deadline_misses(
@@ -449,8 +477,8 @@ class DeadlineAwareTangoScheduler(BasicTangoScheduler):
             for request in urgent + relaxed:
                 dep_finish = max(
                     (
-                        finish_times[d.request_id]
-                        for d in dag.dependencies_of(request)
+                        finish_times[p]
+                        for p in dag.predecessor_ids(request.request_id)
                     ),
                     default=self.executor.epoch_ms,
                 )
@@ -513,9 +541,16 @@ class ConcurrentTangoScheduler(BasicTangoScheduler):
             if not ordered:
                 raise RuntimeError("DAG not done but no independent requests")
             for request in ordered:
-                deps = dag.dependencies_of(request)
+                # Guard times are measured on the executor's timeline, so
+                # dependency-free requests anchor at the epoch -- not at
+                # absolute zero, which silently weakened the guard
+                # whenever the executor had already been used (epoch > 0).
                 dep_finish = max(
-                    (finish_times[d.request_id] for d in deps), default=0.0
+                    (
+                        finish_times[p]
+                        for p in dag.predecessor_ids(request.request_id)
+                    ),
+                    default=self.executor.epoch_ms,
                 )
                 own_estimate = self.estimate(request)
                 # Weak consistency: start early as long as the estimated

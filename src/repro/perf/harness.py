@@ -1,0 +1,269 @@
+"""Hot-path micro-benchmarks with a deterministic regression gate.
+
+Each bench case runs an *optimized* arm (the shipping implementation)
+and, where tractable, a *reference* arm (the retired pre-optimization
+implementation from :mod:`repro.perf.reference`), then
+
+1. asserts both arms produced bit-for-bit identical results (makespan,
+   rounds, pattern choices, shift totals),
+2. reports wall time and a deterministic operation count for each arm,
+3. gates on op counts: a case regresses when its optimized op count
+   exceeds the checked-in baseline (``benchmarks/perf_baseline.json``)
+   by more than :data:`REGRESSION_THRESHOLD`.
+
+Wall time is reported for humans (``speedup_wall``); the gate never
+looks at it, so CI cannot flake with machine load.  Op counts are exact
+functions of the workload: DAG edge visits + ready yields for the
+schedulers (:class:`repro.core.requests.DagOpCounters`), accounting ops
+for the shift models.  Note the shift case's wall speedup understates
+the asymptotic win: the reference list's O(n) element moves run as one
+C-level ``memmove``, while its op count grows quadratically -- which is
+exactly why the gate uses ops.
+
+Cases (``n`` is the suite size knob):
+
+* ``chain_schedule``     -- n-request dependency chain, Basic scheduler.
+* ``layered_schedule``   -- n requests in width-50 layers, Basic scheduler.
+* ``descending_shifts``  -- n rule installs at descending priority
+  through the shift model (every add shifts all residents).
+* ``prefix_lookahead``   -- Prefix scheduler (depth 2) on the two-switch
+  unlock workload; trajectory-only (the pre-PR frozenset-copying planner
+  is the regression this guards against, not a runnable arm).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.scheduler import BasicTangoScheduler, PrefixTangoScheduler
+from repro.perf.reference import ReferenceBasicTangoScheduler, SortedListShiftModel
+from repro.perf.workloads import (
+    UNLOCK_ESTIMATES,
+    chain_dag,
+    descending_priorities,
+    fast_executor,
+    layered_dag,
+    unlock_groups_dag,
+)
+from repro.tables.tcam import PriorityShiftModel
+
+#: Optimized op count may grow this much over the baseline before the
+#: gate fails (1.5x; headroom for intentional small changes).
+REGRESSION_THRESHOLD = 1.5
+
+#: Suite sizes: full run and the CI ``--quick`` run.
+FULL_SIZES: Tuple[int, ...] = (1000, 5000, 20000)
+QUICK_SIZES: Tuple[int, ...] = (1000,)
+
+#: The quadratic reference arms are not run beyond this size.
+REFERENCE_CAP = 5000
+
+#: The lookahead case explores a scheduling tree (superlinear in the
+#: request count by design); cap its size to keep full runs fast.
+LOOKAHEAD_CAP = 2000
+
+
+@dataclass
+class BenchRecord:
+    """One (case, n) measurement."""
+
+    case: str
+    n: int
+    wall_ms: float
+    ops: int
+    ref_wall_ms: Optional[float] = None
+    ref_ops: Optional[int] = None
+    speedup_wall: Optional[float] = None
+    speedup_ops: Optional[float] = None
+    identical: Optional[bool] = None  # reference results bit-for-bit equal
+    detail: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def key(self) -> str:
+        return f"{self.case}:{self.n}"
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    value = fn()
+    return (time.perf_counter() - start) * 1000.0, value
+
+
+def _with_reference(record: BenchRecord, ref_wall_ms: float, ref_ops: int) -> None:
+    record.ref_wall_ms = ref_wall_ms
+    record.ref_ops = ref_ops
+    if record.wall_ms > 0.0:
+        record.speedup_wall = ref_wall_ms / record.wall_ms
+    if record.ops > 0:
+        record.speedup_ops = ref_ops / record.ops
+
+
+def _schedule_signature(result) -> Tuple[float, int, Tuple[str, ...], int]:
+    return (
+        result.makespan_ms,
+        result.rounds,
+        tuple(result.pattern_choices),
+        result.total_requests,
+    )
+
+
+def _bench_schedule(case: str, build_dag, n: int, with_reference: bool) -> BenchRecord:
+    dag = build_dag(n)
+    dag.ops.clear()
+    scheduler = BasicTangoScheduler(fast_executor())
+    wall_ms, result = _timed(lambda: scheduler.schedule(dag))
+    record = BenchRecord(case=case, n=n, wall_ms=wall_ms, ops=dag.ops.total())
+    record.detail = {
+        "makespan_ms": result.makespan_ms,
+        "rounds": result.rounds,
+    }
+    if with_reference and n <= REFERENCE_CAP:
+        ref_dag = build_dag(n)
+        reference = ReferenceBasicTangoScheduler(fast_executor())
+        ref_wall_ms, ref_result = _timed(lambda: reference.schedule(ref_dag))
+        _with_reference(record, ref_wall_ms, reference.scan_ops)
+        record.identical = _schedule_signature(result) == _schedule_signature(
+            ref_result
+        )
+    return record
+
+
+def bench_chain_schedule(n: int, with_reference: bool = True) -> BenchRecord:
+    return _bench_schedule("chain_schedule", chain_dag, n, with_reference)
+
+
+def bench_layered_schedule(n: int, with_reference: bool = True) -> BenchRecord:
+    return _bench_schedule("layered_schedule", layered_dag, n, with_reference)
+
+
+def bench_descending_shifts(n: int, with_reference: bool = True) -> BenchRecord:
+    priorities = descending_priorities(n)
+
+    def run_fenwick():
+        model = PriorityShiftModel()
+        total = 0
+        for priority in priorities:
+            total += model.record_add(priority)
+        return model, total
+
+    wall_ms, (model, shifts) = _timed(run_fenwick)
+    record = BenchRecord(
+        case="descending_shifts", n=n, wall_ms=wall_ms, ops=model.accounting_ops
+    )
+    record.detail = {"total_shifts": shifts}
+    if with_reference and n <= REFERENCE_CAP:
+
+        def run_sorted_list():
+            reference = SortedListShiftModel()
+            total = 0
+            for priority in priorities:
+                total += reference.record_add(priority)
+            return reference, total
+
+        ref_wall_ms, (reference, ref_shifts) = _timed(run_sorted_list)
+        _with_reference(record, ref_wall_ms, reference.accounting_ops)
+        record.identical = shifts == ref_shifts and len(model) == len(reference)
+    return record
+
+
+def bench_prefix_lookahead(n: int, with_reference: bool = True) -> BenchRecord:
+    del with_reference  # trajectory-only; no runnable pre-PR arm
+    size = min(n, LOOKAHEAD_CAP)
+    dag = unlock_groups_dag(size)
+    dag.ops.clear()
+    scheduler = PrefixTangoScheduler(
+        fast_executor("a", "b"),
+        estimate=lambda request: UNLOCK_ESTIMATES[request.location],
+        lookahead_depth=2,
+    )
+    wall_ms, result = _timed(lambda: scheduler.schedule(dag))
+    record = BenchRecord(
+        case="prefix_lookahead", n=size, wall_ms=wall_ms, ops=dag.ops.total()
+    )
+    record.detail = {
+        "makespan_ms": result.makespan_ms,
+        "rounds": result.rounds,
+        "oracle_cache_hits": scheduler.oracle.cache_hits,
+        "oracle_cache_misses": scheduler.oracle.cache_misses,
+    }
+    return record
+
+
+_CASES = (
+    bench_chain_schedule,
+    bench_layered_schedule,
+    bench_descending_shifts,
+    bench_prefix_lookahead,
+)
+
+
+def run_suite(
+    sizes: Optional[Sequence[int]] = None,
+    quick: bool = False,
+    with_reference: bool = True,
+) -> List[BenchRecord]:
+    """Run every case at every size; dedupe (case, n) collisions."""
+    if sizes is None:
+        sizes = QUICK_SIZES if quick else FULL_SIZES
+    records: List[BenchRecord] = []
+    seen = set()
+    for n in sizes:
+        for case in _CASES:
+            record = case(n, with_reference=with_reference)
+            if record.key in seen:
+                continue  # e.g. prefix_lookahead capped to the same size
+            seen.add(record.key)
+            records.append(record)
+    return records
+
+
+def compare_to_baseline(
+    records: Sequence[BenchRecord], baseline: Dict[str, int]
+) -> List[Dict[str, object]]:
+    """Op-count regressions vs the checked-in baseline.
+
+    Only keys present in both are compared, so a quick run gates against
+    the quick-size subset of the full baseline.
+    """
+    regressions: List[Dict[str, object]] = []
+    for record in records:
+        expected = baseline.get(record.key)
+        if not expected:
+            continue
+        ratio = record.ops / expected
+        if ratio > REGRESSION_THRESHOLD:
+            regressions.append(
+                {
+                    "key": record.key,
+                    "baseline_ops": expected,
+                    "ops": record.ops,
+                    "ratio": round(ratio, 3),
+                }
+            )
+    return regressions
+
+
+def baseline_from_records(records: Sequence[BenchRecord]) -> Dict[str, int]:
+    return {record.key: record.ops for record in records}
+
+
+def records_to_report(
+    records: Sequence[BenchRecord],
+    regressions: Sequence[Dict[str, object]],
+    quick: bool,
+    baseline_path: Optional[str],
+) -> Dict[str, object]:
+    """The ``BENCH_scheduler.json`` document."""
+    mismatched = [r.key for r in records if r.identical is False]
+    return {
+        "suite": "scheduler-hot-paths",
+        "quick": quick,
+        "threshold": REGRESSION_THRESHOLD,
+        "baseline_path": baseline_path,
+        "results": [asdict(record) for record in records],
+        "regressions": list(regressions),
+        "mismatched": mismatched,
+        "ok": not regressions and not mismatched,
+    }

@@ -1,0 +1,25 @@
+"""The ``tango-bench`` console entry point.
+
+Thin wrapper so the perf harness lives alongside the other operator
+tools (``tango-probe``, ``tango-report``, ``tango-lint``)::
+
+    tango-bench --quick
+    python -m repro.tools.bench --quick
+
+The implementation is :mod:`repro.perf.cli`.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+from repro.perf.cli import main as _bench_main
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    return _bench_main(argv, out=out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

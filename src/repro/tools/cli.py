@@ -74,6 +74,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="statically verify the request DAG (repro.analysis) and "
         "abort on ERROR diagnostics before scheduling",
     )
+
+    bench = sub.add_parser(
+        "bench",
+        help="micro-benchmark the scheduler/TCAM hot paths (tango-bench)",
+    )
+    from repro.perf.cli import add_bench_arguments
+
+    add_bench_arguments(bench)
     return parser
 
 
@@ -207,6 +215,11 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
 
     if args.command == "schedule":
         return _run_schedule(args, out)
+
+    if args.command == "bench":
+        from repro.perf.cli import run_bench
+
+        return run_bench(args, out)
 
     if args.command == "profiles":
         for name, profile in sorted(VENDOR_PROFILES.items()):

@@ -25,6 +25,12 @@ def test_wall_clock_allowed_inside_sim():
     assert _codes("import time\nstart = time.time()\n", "sim/clock.py") == []
 
 
+def test_wall_clock_allowed_inside_perf():
+    """tango-bench measures host wall time by design (reported for
+    humans; its regression gate uses deterministic op counts)."""
+    assert _codes("import time\nt = time.perf_counter()\n", "perf/harness.py") == []
+
+
 def test_virtual_clock_reads_are_fine():
     assert _codes("now = clock.now_ms\n") == []
 

@@ -131,3 +131,143 @@ def test_diamond_dependencies():
     assert bottom not in dag.independent_requests()
     dag.mark_done(right)
     assert dag.independent_requests() == [bottom]
+
+
+# -- incremental ready set / query API ----------------------------------------
+def test_independent_requests_report_insertion_order():
+    dag = RequestDag()
+    requests = [
+        dag.new_request("s", FlowModCommand.ADD, _match(i), priority=50 - i)
+        for i in range(6)
+    ]
+    assert dag.independent_requests() == requests
+
+
+def test_mark_done_is_idempotent():
+    dag, requests = _dag_with_chain(3)
+    dag.mark_done(requests[0])
+    dag.mark_done(requests[0])  # second completion must not double-decrement
+    assert dag.independent_requests() == [requests[1]]
+
+
+def test_successors_and_predecessor_ids():
+    dag, requests = _dag_with_chain(3)
+    assert dag.successors_of(requests[0]) == [requests[1]]
+    assert dag.successors_of(requests[2]) == []
+    assert dag.predecessor_ids(requests[1].request_id) == [requests[0].request_id]
+    assert dag.successor_ids(requests[1].request_id) == [requests[2].request_id]
+    assert dag.edge_ids() == [
+        (requests[0].request_id, requests[1].request_id),
+        (requests[1].request_id, requests[2].request_id),
+    ]
+
+
+def test_ready_after_is_stateless():
+    dag, requests = _dag_with_chain(3)
+    assert dag.ready_after(()) == [requests[0]]
+    assert dag.ready_after({requests[0].request_id}) == [requests[1]]
+    # The live completion state is untouched.
+    assert dag.independent_requests() == [requests[0]]
+
+
+def test_dependency_on_unknown_request_rejected():
+    dag = RequestDag()
+    known = dag.new_request("s", FlowModCommand.ADD, _match(0))
+    stranger = SwitchRequest(
+        request_id=999, location="s", command=FlowModCommand.ADD, match=_match(1)
+    )
+    with pytest.raises(KeyError):
+        dag.add_dependency(known, stranger)
+    with pytest.raises(KeyError):
+        dag.add_dependency(stranger, known)
+
+
+def test_duplicate_dependency_is_idempotent():
+    dag = RequestDag()
+    a = dag.new_request("s", FlowModCommand.ADD, _match(0))
+    b = dag.new_request("s", FlowModCommand.ADD, _match(1))
+    dag.add_dependency(a, b)
+    dag.add_dependency(a, b)  # no double-count of b's pending in-edges
+    dag.mark_done(a)
+    assert dag.independent_requests() == [b]
+
+
+def test_rejected_cycle_leaves_counters_intact():
+    dag = RequestDag()
+    a = dag.new_request("s", FlowModCommand.ADD, _match(0))
+    b = dag.new_request("s", FlowModCommand.ADD, _match(1))
+    dag.add_dependency(a, b)
+    with pytest.raises(ValueError):
+        dag.add_dependency(b, a)
+    assert dag.independent_requests() == [a]
+    dag.mark_done(a)
+    assert dag.independent_requests() == [b]
+
+
+def test_critical_path_cache_invalidated_on_mutation():
+    dag, requests = _dag_with_chain(2)
+    first = dag.critical_path_lengths()
+    assert first[requests[0].request_id] == 2
+    # Returned dict is a private copy.
+    first[requests[0].request_id] = 99
+    assert dag.critical_path_lengths()[requests[0].request_id] == 2
+    tail = dag.new_request("s", FlowModCommand.ADD, _match(9), after=[requests[1]])
+    lengths = dag.critical_path_lengths()
+    assert lengths[requests[0].request_id] == 3
+    assert lengths[tail.request_id] == 1
+
+
+def test_cycle_check_helpers():
+    dag, requests = _dag_with_chain(3)
+    assert dag.is_acyclic()
+    assert dag.find_cycle_ids() == []
+    assert dag.topological_order() == [r.request_id for r in requests]
+
+
+# -- ReadySimulation ----------------------------------------------------------
+def test_simulation_complete_and_undo_round_trip():
+    dag, requests = _dag_with_chain(3)
+    sim = dag.simulation()
+    assert sim.ready() == [requests[0]]
+    sim.complete([requests[0].request_id])
+    assert sim.ready() == [requests[1]]
+    sim.complete([requests[1].request_id])
+    assert sim.ready() == [requests[2]]
+    sim.undo()
+    assert sim.ready() == [requests[1]]
+    sim.undo()
+    assert sim.ready() == [requests[0]]
+    # The DAG itself never saw any completion.
+    assert dag.independent_requests() == [requests[0]]
+
+
+def test_simulation_rejects_double_completion():
+    dag, requests = _dag_with_chain(2)
+    sim = dag.simulation()
+    sim.complete([requests[0].request_id])
+    with pytest.raises(ValueError):
+        sim.complete([requests[0].request_id])
+
+
+def test_simulation_undo_without_frames_raises():
+    dag, _ = _dag_with_chain(2)
+    with pytest.raises(IndexError):
+        dag.simulation().undo()
+
+
+def test_simulation_commit_is_permanent_and_idempotent():
+    dag, requests = _dag_with_chain(3)
+    sim = dag.simulation()
+    sim.commit([requests[0].request_id])
+    sim.commit([requests[0].request_id])  # already done: no-op
+    assert sim.ready() == [requests[1]]
+    with pytest.raises(IndexError):
+        sim.undo()  # commits push no undo frames
+
+
+def test_simulation_seeded_with_done_set():
+    dag, requests = _dag_with_chain(3)
+    sim = dag.simulation({requests[0].request_id, requests[1].request_id})
+    assert sim.ready() == [requests[2]]
+    sim.complete([requests[2].request_id])
+    assert sim.is_done()

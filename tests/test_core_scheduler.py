@@ -266,6 +266,80 @@ def test_concurrent_overlaps_dependent_requests():
     )
 
 
+def test_concurrent_guard_anchors_at_epoch_on_reused_executor():
+    """Regression: dep-free requests must anchor guard math at the
+    executor's epoch.  With the old ``default=0.0`` a reused executor
+    (epoch > 0) silently weakened the guard to a no-op."""
+    executor = _executor("a", add=1.0)
+
+    # First schedule advances the switch clock, so the next reset_epoch
+    # leaves a strictly positive epoch.
+    warmup = RequestDag()
+    for i in range(3):
+        warmup.new_request("a", FlowModCommand.ADD, _match(100 + i))
+    scheduler = ConcurrentTangoScheduler(
+        executor, estimate=lambda r: 1.0, guard_ms=50.0
+    )
+    scheduler.schedule(warmup)
+
+    dag = RequestDag()
+    dag.new_request("a", FlowModCommand.ADD, _match(1))
+    result = scheduler.schedule(dag)
+    # schedule() re-aligned the epoch to the advanced switch clock.
+    assert executor.epoch_ms > 0.0
+    record = result.records[0]
+    # guard_ms=50, estimate=1: the request may not start before
+    # epoch + 50 - 1.  The old bug started it at the switch clock.
+    assert record.started_ms >= executor.epoch_ms + 50.0 - 1.0 - 1e-6
+    # makespan is still measured from the (new) epoch.
+    assert result.makespan_ms == pytest.approx(
+        record.finished_ms - executor.epoch_ms
+    )
+
+
+def test_count_commands_is_counter_equivalent_to_manual_tally():
+    """count_commands now returns a Counter; scoring must be unchanged."""
+    dag = RequestDag()
+    requests = [
+        dag.new_request("a", FlowModCommand.DELETE, _match(1)),
+        dag.new_request("a", FlowModCommand.ADD, _match(3)),
+        dag.new_request("a", FlowModCommand.ADD, _match(4)),
+    ]
+    counts = count_commands(requests)
+    manual = {}
+    for request in requests:
+        manual[request.command] = manual.get(request.command, 0) + 1
+    assert dict(counts) == manual
+    # Missing commands read as 0, like dict.get in the patterns' scoring.
+    assert counts[FlowModCommand.MODIFY] == 0
+    ascending, descending = default_rewrite_patterns()
+    assert ascending.score_counts(counts) == ascending.score_counts(manual)
+    assert descending.score_counts(counts) == descending.score_counts(manual)
+
+
+def test_ordering_oracle_memoizes_per_batch():
+    """Re-choosing the same batch hits the cache and returns a private
+    copy (mutating the result must not corrupt later answers)."""
+    executor = _executor("a")
+    scheduler = BasicTangoScheduler(executor)
+    dag = RequestDag()
+    requests = [
+        dag.new_request("a", FlowModCommand.ADD, _match(i), priority=10 - i)
+        for i in range(5)
+    ]
+    oracle = scheduler.oracle
+    pattern_a, ordered_a = oracle.choose(requests)
+    assert oracle.cache_misses == 1 and oracle.cache_hits == 0
+    ordered_a.reverse()  # caller-side mutation
+    pattern_b, ordered_b = oracle.choose(requests)
+    assert oracle.cache_hits == 1
+    assert pattern_b is pattern_a
+    assert ordered_b == list(reversed(ordered_a))  # cache unharmed
+    # A different batch is a miss, not a stale hit.
+    oracle.choose(requests[:3])
+    assert oracle.cache_misses == 2
+
+
 def test_pattern_database_registration():
     db = TangoPatternDatabase()
     assert len(db.rewrite_patterns) == 2

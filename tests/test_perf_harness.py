@@ -1,0 +1,218 @@
+"""Tests for the tango-bench perf harness (repro.perf)."""
+
+import json
+
+import pytest
+
+from repro.perf.cli import main as _bench_cli_main
+from repro.perf.harness import (
+    REGRESSION_THRESHOLD,
+    baseline_from_records,
+    compare_to_baseline,
+    records_to_report,
+    run_suite,
+)
+from repro.perf.harness import bench_chain_schedule as _chain_case
+from repro.perf.harness import bench_descending_shifts as _shifts_case
+from repro.perf.harness import bench_prefix_lookahead as _lookahead_case
+from repro.perf.reference import ReferenceBasicTangoScheduler
+from repro.perf.workloads import chain_dag, fast_executor, layered_dag, unlock_groups_dag
+from repro.core.scheduler import BasicTangoScheduler
+
+import io
+
+
+# -- workloads ----------------------------------------------------------------
+def test_chain_dag_shape():
+    dag = chain_dag(10)
+    assert len(dag) == 10
+    assert dag.depth() == 10
+
+
+def test_layered_dag_shape():
+    dag = layered_dag(100, width=10)
+    assert len(dag) == 100
+    assert dag.depth() == 10
+
+
+def test_unlock_groups_dag_shape():
+    dag = unlock_groups_dag(40, group=20)
+    assert len(dag) == 40
+    assert dag.depth() == 2
+    locations = {r.location for r in dag.requests}
+    assert sorted(locations) == ["a", "b"]
+
+
+def test_workloads_are_deterministic():
+    a, b = layered_dag(60), layered_dag(60)
+    assert [r.priority for r in a.requests] == [r.priority for r in b.requests]
+    assert a.edge_ids() == b.edge_ids()
+
+
+# -- reference arm ------------------------------------------------------------
+def test_reference_scheduler_matches_optimized_bit_for_bit():
+    optimized = BasicTangoScheduler(fast_executor()).schedule(layered_dag(80, width=8))
+    reference_scheduler = ReferenceBasicTangoScheduler(fast_executor())
+    reference = reference_scheduler.schedule(layered_dag(80, width=8))
+    assert reference.makespan_ms == optimized.makespan_ms
+    assert reference.rounds == optimized.rounds
+    assert reference.pattern_choices == optimized.pattern_choices
+    assert [r.request.request_id for r in reference.records] == [
+        r.request.request_id for r in optimized.records
+    ]
+    assert reference_scheduler.scan_ops > 0
+
+
+# -- bench cases --------------------------------------------------------------
+def test_chain_case_verifies_equivalence_and_speedup():
+    record = _chain_case(120)
+    assert record.identical is True
+    assert record.ops > 0
+    assert record.ref_ops > record.ops  # rescans do strictly more work
+    assert record.speedup_ops > 1.0
+
+
+def test_shift_case_counts_quadratic_reference_work():
+    n = 200
+    record = _shifts_case(n)
+    assert record.identical is True
+    assert record.detail["total_shifts"] == n * (n - 1) // 2
+    assert record.ref_ops == n * (n + 1) // 2  # list element moves
+    assert record.speedup_ops > 1.0
+
+
+def test_lookahead_case_is_trajectory_only():
+    record = _lookahead_case(60)
+    assert record.ref_ops is None and record.identical is None
+    assert record.ops > 0
+    assert record.detail["oracle_cache_hits"] > 0  # memoization exercised
+
+
+def test_run_suite_quick_sizes_and_keys():
+    records = run_suite(sizes=[50], with_reference=True)
+    keys = [record.key for record in records]
+    assert keys == [
+        "chain_schedule:50",
+        "layered_schedule:50",
+        "descending_shifts:50",
+        "prefix_lookahead:50",
+    ]
+
+
+# -- regression gate ----------------------------------------------------------
+def test_compare_to_baseline_flags_only_regressions():
+    records = run_suite(sizes=[40], with_reference=False)
+    baseline = baseline_from_records(records)
+    assert compare_to_baseline(records, baseline) == []
+    # Shrink one baseline entry so the same run now "regresses".
+    key = records[0].key
+    baseline[key] = int(records[0].ops / (REGRESSION_THRESHOLD * 2))
+    regressions = compare_to_baseline(records, baseline)
+    assert [r["key"] for r in regressions] == [key]
+    # Unknown keys in the run (absent from baseline) are not gated.
+    assert compare_to_baseline(records, {}) == []
+
+
+def test_report_document_shape():
+    records = run_suite(sizes=[30], with_reference=True)
+    report = records_to_report(records, [], quick=True, baseline_path=None)
+    assert report["ok"] is True
+    assert report["suite"] == "scheduler-hot-paths"
+    assert len(report["results"]) == 4
+    assert {"case", "n", "wall_ms", "ops"} <= set(report["results"][0])
+
+
+# -- CLI ----------------------------------------------------------------------
+def _run_cli(args):
+    out = io.StringIO()
+    code = _bench_cli_main(args, out=out)
+    return code, out.getvalue()
+
+
+def test_cli_update_baseline_then_gate_passes(tmp_path):
+    baseline = tmp_path / "baseline.json"
+    output = tmp_path / "BENCH_scheduler.json"
+    code, _ = _run_cli(
+        ["--sizes", "40", "--baseline", str(baseline), "--output", str(output),
+         "--no-reference", "--update-baseline"]
+    )
+    assert code == 0
+    assert json.loads(baseline.read_text())
+
+    code, text = _run_cli(
+        ["--sizes", "40", "--baseline", str(baseline), "--output", str(output),
+         "--no-reference"]
+    )
+    assert code == 0
+    assert "perf gate ok" in text
+    report = json.loads(output.read_text())
+    assert report["ok"] is True
+    assert report["regressions"] == []
+
+
+def test_cli_fails_on_regression(tmp_path):
+    baseline = tmp_path / "baseline.json"
+    output = tmp_path / "BENCH_scheduler.json"
+    # A baseline claiming near-zero ops makes any real run a regression.
+    baseline.write_text(json.dumps({"chain_schedule:40": 1}))
+    code, text = _run_cli(
+        ["--sizes", "40", "--baseline", str(baseline), "--output", str(output),
+         "--no-reference"]
+    )
+    assert code == 1
+    assert "REGRESSION chain_schedule:40" in text
+    report = json.loads(output.read_text())
+    assert report["ok"] is False
+
+
+def test_cli_missing_baseline_skips_gate(tmp_path):
+    output = tmp_path / "BENCH_scheduler.json"
+    code, text = _run_cli(
+        ["--sizes", "30", "--baseline", str(tmp_path / "absent.json"),
+         "--output", str(output), "--no-reference"]
+    )
+    assert code == 0
+    assert "regression gate skipped" in text
+
+
+def test_checked_in_baseline_covers_quick_sizes():
+    """CI's --quick run must actually gate: every quick-size key needs a
+    checked-in baseline entry."""
+    from pathlib import Path
+
+    from repro.perf.harness import QUICK_SIZES
+
+    baseline_path = (
+        Path(__file__).resolve().parent.parent / "benchmarks" / "perf_baseline.json"
+    )
+    baseline = json.loads(baseline_path.read_text())
+    records = run_suite(sizes=QUICK_SIZES, with_reference=False)
+    for record in records:
+        assert record.key in baseline, record.key
+        ratio = record.ops / baseline[record.key]
+        assert ratio <= REGRESSION_THRESHOLD
+        assert ratio >= 1.0 / REGRESSION_THRESHOLD  # baseline not stale-high
+
+
+def test_tools_cli_mounts_bench_subcommand(tmp_path):
+    from repro.tools.cli import main as tools_main
+
+    out = io.StringIO()
+    code = tools_main(
+        ["bench", "--sizes", "30", "--no-reference",
+         "--baseline", str(tmp_path / "absent.json"),
+         "--output", str(tmp_path / "BENCH_scheduler.json")],
+        out=out,
+    )
+    assert code == 0
+    assert "trajectory written" in out.getvalue()
+
+
+def test_shift_wall_time_note_is_honest():
+    """The gate must use ops, not wall: document-level sanity that the
+    record carries both metrics separately."""
+    record = _shifts_case(100)
+    assert record.wall_ms >= 0.0
+    assert record.speedup_ops is not None
+    with pytest.raises(AttributeError):
+        record.speedup  # no ambiguous single "speedup" field

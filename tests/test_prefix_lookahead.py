@@ -99,7 +99,7 @@ def test_plan_estimates_zero_for_completed_dag():
     dag, _ = _unlock_dag()
     scheduler = _prefix_scheduler()
     all_ids = frozenset(r.request_id for r in dag.requests)
-    cost, cut = scheduler._plan(dag, all_ids, depth=2)
+    cost, cut = scheduler._plan(dag.simulation(all_ids), depth=2)
     assert cost == 0.0
     assert cut is None
 
@@ -108,9 +108,19 @@ def test_deeper_lookahead_never_estimates_worse():
     dag, _ = _unlock_dag()
     shallow = _prefix_scheduler(depth=1)
     deep = _prefix_scheduler(depth=3)
-    cost_shallow, _ = shallow._plan(dag, frozenset(), depth=1)
-    cost_deep, _ = deep._plan(dag, frozenset(), depth=3)
+    cost_shallow, _ = shallow._plan(dag.simulation(), depth=1)
+    cost_deep, _ = deep._plan(dag.simulation(), depth=3)
     assert cost_deep <= cost_shallow + 1e-9
+
+
+def test_plan_simulation_leaves_cursor_unchanged():
+    """_plan explores by complete/undo; the cursor must come back clean."""
+    dag, _ = _unlock_dag()
+    scheduler = _prefix_scheduler()
+    sim = dag.simulation()
+    before = sim.ready_ids()
+    scheduler._plan(sim, depth=3)
+    assert sim.ready_ids() == before
 
 
 def test_flat_dag_issues_everything_in_one_round():

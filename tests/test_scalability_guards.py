@@ -9,6 +9,8 @@ simulated-operation counters instead of silently slowing the benches.
 import time
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.core.requests import RequestDag
 from repro.core.scheduler import BasicTangoScheduler, NetworkExecutor
@@ -19,6 +21,7 @@ from repro.sim.latency import ConstantLatency
 from repro.switches.base import ControlCostModel, SimulatedSwitch
 from repro.tables.policies import FIFO
 from repro.tables.stack import TableLayer
+from repro.tables.tcam import PriorityShiftModel, SortedListShiftModel
 
 
 def _fast_switch(name="sw"):
@@ -79,3 +82,91 @@ def test_switch_absorbs_tens_of_thousands_of_rules():
         switch.apply_flow_mod(FlowMod(FlowModCommand.ADD, _match(i), priority=100))
     assert switch.num_flows == 20_000
     assert time.time() - start < 10.0
+
+
+# -- operation-count guards ---------------------------------------------------
+# Deterministic counters, not wall time: an accidental return to the
+# per-round O(V*E) ready rescan fails these exactly, on any machine.
+
+
+def _chain(n):
+    dag = RequestDag()
+    previous = None
+    for i in range(n):
+        request = dag.new_request("sw", FlowModCommand.ADD, _match(i), priority=i + 1)
+        if previous is not None:
+            dag.add_dependency(previous, request, check_cycle=False)
+        previous = request
+    dag.validate_acyclic()
+    return dag
+
+
+def test_chain_schedule_does_linear_dag_work():
+    """Scheduling a 2000-request chain must touch O(V + E) DAG state:
+    each edge visited once by mark_done, each request yielded once."""
+    n = 2000
+    dag = _chain(n)
+    dag.ops.clear()
+    executor = NetworkExecutor({"sw": ControlChannel(_fast_switch())})
+    result = BasicTangoScheduler(executor).schedule(dag)
+    assert result.total_requests == n
+    assert result.rounds == n
+    assert dag.ops.edge_visits == n - 1  # one visit per dependency edge
+    assert dag.ops.ready_yields == n  # one yield per request
+    assert dag.ops.total() <= 2 * (n + (n - 1))
+
+
+def test_descending_install_accounting_is_subquadratic():
+    """5000 descending-priority adds: the Fenwick tree must do
+    O(n log n) accounting work where the sorted list did O(n^2)."""
+    n = 5000
+    model = PriorityShiftModel()
+    total = 0
+    for priority in range(n, 0, -1):
+        total += model.record_add(priority)
+    assert total == n * (n - 1) // 2  # every add shifted all residents
+    assert model.accounting_ops < 40 * n  # ~n log2(n); quadratic is 12.5M
+
+
+# -- Fenwick vs sorted-list differential --------------------------------------
+
+
+@given(
+    st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=0, max_value=300)),
+        max_size=150,
+    )
+)
+def test_fenwick_matches_sorted_list_on_random_sequences(operations):
+    """Property: on any interleaving of adds and deletes, the Fenwick
+    model's shift counts are bit-for-bit those of the retired list."""
+    fenwick = PriorityShiftModel()
+    reference = SortedListShiftModel()
+    present = []
+    for is_delete, priority in operations:
+        if is_delete and present:
+            # Delete something actually present, picked deterministically.
+            target = min(present, key=lambda p: (abs(p - priority), p))
+            fenwick.record_delete(target)
+            reference.record_delete(target)
+            present.remove(target)
+        else:
+            assert fenwick.shifts_for_add(priority) == reference.shifts_for_add(
+                priority
+            )
+            assert fenwick.record_add(priority) == reference.record_add(priority)
+            present.append(priority)
+        assert len(fenwick) == len(reference)
+    for probe in (0, 1, 150, 301, 10_000):
+        assert fenwick.shifts_for_add(probe) == reference.shifts_for_add(probe)
+
+
+def test_fenwick_and_sorted_list_agree_on_missing_delete():
+    fenwick = PriorityShiftModel()
+    reference = SortedListShiftModel()
+    fenwick.record_add(5)
+    reference.record_add(5)
+    with pytest.raises(ValueError, match="priority 7 not present"):
+        fenwick.record_delete(7)
+    with pytest.raises(ValueError, match="priority 7 not present"):
+        reference.record_delete(7)
