@@ -391,15 +391,22 @@ class ReadySimulation:
     def complete(self, request_ids: Iterable[int]) -> None:
         """Hypothetically complete ``request_ids``; undoable via :meth:`undo`.
 
+        Validates the whole batch before touching any state, so a raise
+        leaves the cursor exactly as it was (no partial frame that
+        :meth:`undo` could not revert).
+
         Raises:
-            ValueError: a request is already (hypothetically) complete.
+            ValueError: a request is already (hypothetically) complete,
+                or appears twice in ``request_ids``.
         """
-        frame: List[int] = []
-        for rid in request_ids:
-            if rid in self._done:
+        frame = list(request_ids)
+        seen: set = set()
+        for rid in frame:
+            if rid in self._done or rid in seen:
                 raise ValueError(f"request {rid} already completed in simulation")
+            seen.add(rid)
+        for rid in frame:
             self._complete_one(rid)
-            frame.append(rid)
         self._frames.append(frame)
 
     def undo(self) -> None:

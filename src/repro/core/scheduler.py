@@ -107,9 +107,13 @@ class _OrderingOracle:
 
     ``choose`` is memoized per batch: lookahead schedulers re-score the
     same independent set many times while exploring prefix cuts, and the
-    scoring/ordering is a pure function of the batch's (id, command,
-    priority) triples for a fixed pattern set.  The cache is bounded
-    (oldest entry evicted) and private to this oracle instance.
+    chosen pattern and sort *permutation* are a pure function of the
+    batch's (id, command, priority) triples for a fixed pattern set.
+    Only the pattern and permutation are cached — never the request
+    objects themselves — so a hit from a different DAG whose ids happen
+    to collide still orders the *caller's* requests, not stale ones.
+    The cache is bounded (oldest entry evicted) and private to this
+    oracle instance.
     """
 
     _CACHE_LIMIT = 4096
@@ -118,7 +122,7 @@ class _OrderingOracle:
         if not patterns:
             raise ValueError("need at least one rewrite pattern")
         self.patterns = list(patterns)
-        self._cache: Dict[tuple, Tuple[RewritePattern, List[SwitchRequest]]] = {}
+        self._cache: Dict[tuple, Tuple[RewritePattern, Tuple[int, ...]]] = {}
         self.cache_hits = 0
         self.cache_misses = 0
 
@@ -129,19 +133,24 @@ class _OrderingOracle:
         cached = self._cache.get(key)
         if cached is not None:
             self.cache_hits += 1
-            return cached[0], list(cached[1])
+            pattern, perm = cached
+            return pattern, [requests[i] for i in perm]
         self.cache_misses += 1
         counts = count_commands(requests)
         best_pattern = max(self.patterns, key=lambda p: p.score_counts(counts))
-        ordered = sorted(
-            requests,
-            key=lambda r: best_pattern.order_key(r.command, r.priority)
-            + (r.request_id,),
+        perm = tuple(
+            sorted(
+                range(len(requests)),
+                key=lambda i: best_pattern.order_key(
+                    requests[i].command, requests[i].priority
+                )
+                + (requests[i].request_id, i),
+            )
         )
         if len(self._cache) >= self._CACHE_LIMIT:
             self._cache.pop(next(iter(self._cache)))
-        self._cache[key] = (best_pattern, ordered)
-        return best_pattern, list(ordered)
+        self._cache[key] = (best_pattern, perm)
+        return best_pattern, [requests[i] for i in perm]
 
 
 class BasicTangoScheduler:

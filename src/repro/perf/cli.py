@@ -128,10 +128,11 @@ def run_bench(args, out) -> int:
     if not gated:
         print(f"baseline {baseline_path} missing; regression gate skipped", file=out)
     for regression in regressions:
+        ratio = regression["ratio"]
+        detail = f"{ratio}x > threshold" if ratio is not None else "baseline is 0 ops"
         print(
             f"REGRESSION {regression['key']}: {regression['ops']} ops vs "
-            f"baseline {regression['baseline_ops']} "
-            f"({regression['ratio']}x > threshold)",
+            f"baseline {regression['baseline_ops']} ({detail})",
             file=out,
         )
     mismatched = [r.key for r in records if r.identical is False]

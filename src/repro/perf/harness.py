@@ -230,7 +230,20 @@ def compare_to_baseline(
     regressions: List[Dict[str, object]] = []
     for record in records:
         expected = baseline.get(record.key)
-        if not expected:
+        if expected is None:
+            continue
+        if expected == 0:
+            # A zero baseline still gates: any ops at all is a regression
+            # (ratio is undefined, reported as null).
+            if record.ops > 0:
+                regressions.append(
+                    {
+                        "key": record.key,
+                        "baseline_ops": expected,
+                        "ops": record.ops,
+                        "ratio": None,
+                    }
+                )
             continue
         ratio = record.ops / expected
         if ratio > REGRESSION_THRESHOLD:

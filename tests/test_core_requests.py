@@ -249,6 +249,30 @@ def test_simulation_rejects_double_completion():
         sim.complete([requests[0].request_id])
 
 
+def test_simulation_complete_is_atomic_on_error():
+    """A rejected batch must leave the cursor untouched -- no partially
+    applied frame that undo() cannot revert."""
+    dag, requests = _dag_with_chain(3)
+    sim = dag.simulation()
+    sim.complete([requests[0].request_id])
+    with pytest.raises(ValueError):
+        # Second id is already done; the first must NOT be applied.
+        sim.complete([requests[1].request_id, requests[0].request_id])
+    assert sim.ready() == [requests[1]]  # unchanged
+    sim.undo()  # only the original frame exists
+    assert sim.ready() == [requests[0]]
+    with pytest.raises(IndexError):
+        sim.undo()
+
+
+def test_simulation_complete_rejects_duplicates_in_batch():
+    dag, requests = _dag_with_chain(2)
+    sim = dag.simulation()
+    with pytest.raises(ValueError):
+        sim.complete([requests[0].request_id, requests[0].request_id])
+    assert sim.ready() == [requests[0]]  # nothing applied
+
+
 def test_simulation_undo_without_frames_raises():
     dag, _ = _dag_with_chain(2)
     with pytest.raises(IndexError):

@@ -340,6 +340,35 @@ def test_ordering_oracle_memoizes_per_batch():
     assert oracle.cache_misses == 2
 
 
+def test_ordering_oracle_cache_hit_returns_callers_requests_across_dags():
+    """Request ids restart at 0 in every RequestDag, so a scheduler reused
+    across DAGs hits the oracle cache with colliding keys.  The cached
+    permutation must be re-applied to the *caller's* requests -- never
+    replay request objects from the previous DAG."""
+    executor = _executor("a", "b")
+    scheduler = BasicTangoScheduler(executor)
+
+    dag1 = RequestDag()
+    for i in range(3):
+        dag1.new_request("a", FlowModCommand.ADD, _match(i), priority=i)
+    scheduler.schedule(dag1)
+
+    # Same (id, command, priority) triples, different switch and matches.
+    dag2 = RequestDag()
+    expected = [
+        dag2.new_request("b", FlowModCommand.ADD, _match(100 + i), priority=i)
+        for i in range(3)
+    ]
+    result = scheduler.schedule(dag2)
+
+    assert scheduler.oracle.cache_hits >= 1  # the collision actually occurred
+    issued = [record.request for record in result.records]
+    assert sorted(issued, key=lambda r: r.request_id) == expected
+    for request in issued:
+        assert request.location == "b"
+    assert dag2.is_done()
+
+
 def test_pattern_database_registration():
     db = TangoPatternDatabase()
     assert len(db.rewrite_patterns) == 2

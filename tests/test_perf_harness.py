@@ -113,6 +113,20 @@ def test_compare_to_baseline_flags_only_regressions():
     assert compare_to_baseline(records, {}) == []
 
 
+def test_compare_to_baseline_gates_zero_baseline():
+    """A baseline of 0 ops is a real entry, not a missing one: any ops at
+    all regress against it (with an undefined ratio reported as None)."""
+    records = run_suite(sizes=[40], with_reference=False)
+    baseline = baseline_from_records(records)
+    key = records[0].key
+    assert records[0].ops > 0
+    baseline[key] = 0
+    regressions = compare_to_baseline(records, baseline)
+    assert [r["key"] for r in regressions] == [key]
+    assert regressions[0]["ratio"] is None
+    assert regressions[0]["baseline_ops"] == 0
+
+
 def test_report_document_shape():
     records = run_suite(sizes=[30], with_reference=True)
     report = records_to_report(records, [], quick=True, baseline_path=None)
