@@ -7,7 +7,8 @@ clocks.  That guarantee is only as strong as the code's discipline, so
 this linter walks the package's ASTs and enforces it:
 
 * **TNG030 wall clock** — calls to ``time.time``/``time.monotonic``/
-  ``time.perf_counter``/``datetime.now``/``datetime.utcnow``/
+  ``time.perf_counter`` (and their ``_ns`` variants)/``datetime.now``/
+  ``datetime.utcnow``/
   ``datetime.today`` outside the simulation substrate (``sim/``) and
   the wall-clock bench harness (``perf/``).  Virtual experiments must
   read virtual clocks.
@@ -53,9 +54,13 @@ RANDOM_ALLOWED = ("sim/rng.py",)
 
 _WALL_CLOCK_CALLS = {
     ("time", "time"),
+    ("time", "time_ns"),
     ("time", "monotonic"),
+    ("time", "monotonic_ns"),
     ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
     ("time", "process_time"),
+    ("time", "process_time_ns"),
     ("datetime", "now"),
     ("datetime", "utcnow"),
     ("datetime", "today"),

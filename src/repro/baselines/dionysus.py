@@ -12,7 +12,7 @@ addition cost depends on priority order -- the gap Tango exploits
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.core.requests import RequestDag
 from repro.core.scheduler import (
@@ -20,6 +20,8 @@ from repro.core.scheduler import (
     ScheduleResult,
     _count_deadline_misses,
 )
+from repro.obs.metrics import MetricsRegistry, NULL_METRICS
+from repro.obs.trace import NULL_TRACER, Tracer
 
 
 class DionysusScheduler:
@@ -27,10 +29,26 @@ class DionysusScheduler:
 
     Args:
         executor: network executor bound to the target switches.
+        tracer: telemetry tracer; per-round spans are tagged
+            ``policy="critical_path"`` (Dionysus has no pattern oracle).
+        metrics: metrics registry for round/request counters.
     """
 
-    def __init__(self, executor: NetworkExecutor) -> None:
+    def __init__(
+        self,
+        executor: NetworkExecutor,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.executor = executor
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self._m_batches = self.metrics.counter(
+            "scheduler.batches", scheduler=type(self).__name__
+        )
+        self._m_requests = self.metrics.counter(
+            "scheduler.requests", scheduler=type(self).__name__
+        )
 
     def schedule(self, dag: RequestDag) -> ScheduleResult:
         """Issue every request, longest-remaining-chain first."""
@@ -49,6 +67,15 @@ class DionysusScheduler:
             # Longest critical path first; FIFO within ties (Dionysus has
             # no notion of rule-type or priority-order cost).
             ready.sort(key=lambda r: (-critical[r.request_id], r.request_id))
+            span = self.tracer.span(
+                "scheduler.batch",
+                category="scheduler",
+                clock=self.executor.now_ms,
+                policy="critical_path",
+                batch_size=len(ready),
+                round=result.rounds,
+            )
+            batch_start_ms = self.executor.now_ms() if self.tracer.enabled else 0.0
             for request in ready:
                 dep_finish = max(
                     (
@@ -62,6 +89,11 @@ class DionysusScheduler:
                 result.records.append(record)
                 dag.mark_done(request)
                 makespan = max(makespan, record.finished_ms)
+            if self.tracer.enabled:
+                span.set(actual_ms=self.executor.now_ms() - batch_start_ms)
+            span.close()
+            self._m_batches.inc()
+            self._m_requests.inc(len(ready))
             result.rounds += 1
         result.makespan_ms = makespan - self.executor.epoch_ms
         result.deadline_misses = _count_deadline_misses(

@@ -22,6 +22,8 @@ from repro.core.scheduler import (
     ScheduleResult,
 )
 from repro.core.scores import TangoScoreDatabase
+from repro.obs.metrics import MetricsRegistry, NULL_METRICS
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.openflow.channel import ControlChannel
 from repro.switches.base import SimulatedSwitch
 from repro.switches.profiles import SwitchProfile
@@ -32,6 +34,9 @@ class Tango:
 
     Args:
         seed: base seed for all probing randomness.
+        tracer: telemetry tracer threaded through probing engines,
+            schedulers, and executors built by this controller.
+        metrics: metrics registry threaded the same way.
 
     Example:
         >>> from repro.switches import SWITCH_2
@@ -42,8 +47,15 @@ class Tango:
         True
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(
+        self,
+        seed: int = 0,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.seed = seed
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self.scores = TangoScoreDatabase()
         self.patterns = TangoPatternDatabase()
         self._profiles: Dict[str, SwitchProfile] = {}
@@ -108,6 +120,8 @@ class Tango:
             profile,
             scores=self.scores,
             seed=self.seed + hash(name) % 1000,
+            tracer=self.tracer,
+            metrics=self.metrics,
             **probe_kwargs,
         )
         model = engine.infer(include_policy=include_policy)
@@ -119,7 +133,9 @@ class Tango:
 
     # -- scheduling -----------------------------------------------------------------
     def _executor(self) -> NetworkExecutor:
-        return NetworkExecutor(self._channels)
+        return NetworkExecutor(
+            self._channels, metrics=self.metrics, tracer=self.tracer
+        )
 
     def _patterns_for(self, dag: RequestDag) -> List[RewritePattern]:
         """Measured per-switch patterns when available, else defaults."""
@@ -145,16 +161,19 @@ class Tango:
         """
         executor = self._executor()
         patterns = self._patterns_for(dag)
+        telemetry = {"tracer": self.tracer, "metrics": self.metrics}
         if variant == "basic":
-            return BasicTangoScheduler(executor, patterns=patterns, strict=strict)
+            return BasicTangoScheduler(
+                executor, patterns=patterns, strict=strict, **telemetry
+            )
         estimate = self._duration_estimator(dag)
         if variant == "prefix":
             return PrefixTangoScheduler(
-                executor, estimate, patterns=patterns, strict=strict
+                executor, estimate, patterns=patterns, strict=strict, **telemetry
             )
         if variant == "concurrent":
             return ConcurrentTangoScheduler(
-                executor, estimate, patterns=patterns, strict=strict
+                executor, estimate, patterns=patterns, strict=strict, **telemetry
             )
         raise ValueError(f"unknown scheduler variant {variant!r}")
 

@@ -108,5 +108,6 @@ class BehaviorProber:
             "behavior_probe",
             result,
             recorded_at_ms=self.engine.now_ms,
+            source="behavior_prober",
         )
         return result

@@ -131,6 +131,9 @@ class SwitchInferenceEngine:
         seed: base RNG seed for all probes.
         size_probe_max_rules: cap for switches that never reject adds.
         latency_batch_sizes: batch sizes for the latency-curve probe.
+        tracer: telemetry tracer shared by every probing engine built;
+            each probe's spans read that engine's own virtual clock.
+        metrics: metrics registry shared by every probing engine built.
     """
 
     def __init__(
@@ -142,6 +145,8 @@ class SwitchInferenceEngine:
         size_accuracy_target: float = 0.02,
         latency_batch_sizes: Tuple[int, ...] = (100, 400, 900, 1600),
         policy_cache_size: Optional[int] = None,
+        tracer=None,
+        metrics=None,
     ) -> None:
         self.profile = profile
         self.scores = scores if scores is not None else TangoScoreDatabase()
@@ -150,6 +155,8 @@ class SwitchInferenceEngine:
         self.size_accuracy_target = size_accuracy_target
         self.latency_batch_sizes = latency_batch_sizes
         self.policy_cache_size = policy_cache_size
+        self.tracer = tracer
+        self.metrics = metrics
         self._build_count = 0
 
     def _fresh_engine(self) -> ProbingEngine:
@@ -160,6 +167,8 @@ class SwitchInferenceEngine:
             channel,
             scores=self.scores,
             rng=SeededRng(self.seed).child(f"probe:{self._build_count}"),
+            tracer=self.tracer,
+            metrics=self.metrics,
         )
 
     # -- individual probes ------------------------------------------------------
@@ -202,5 +211,7 @@ class SwitchInferenceEngine:
             if cache_size is not None and cache_size >= 8 and multi_layer:
                 model.policy_probe = self.infer_policy(cache_size)
         model.latency_curves = self.infer_latency_curves()
-        self.scores.put(self.profile.name, "switch_model", model)
+        self.scores.put(
+            self.profile.name, "switch_model", model, source="inference_engine"
+        )
         return model

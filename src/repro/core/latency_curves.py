@@ -200,6 +200,7 @@ class LatencyCurveProber:
                     self._switch_name,
                     "latency_curve",
                     curve,
+                    source=f"latency_curve_prober:{pattern.value}",
                     op=op.value,
                     pattern=pattern.value,
                 )

@@ -98,6 +98,7 @@ class OnlineSizeProber:
             "online_size_probe",
             result,
             recorded_at_ms=self.engine.now_ms,
+            source="online_size_prober",
         )
         return result
 

@@ -259,14 +259,33 @@ class PolicyProber:
         """Infer the policy's lexicographic terms, primary first."""
         result = PolicyProbeResult(terms=[])
         found: List[FlowAttribute] = []
+        root = self.engine.tracer.span(
+            "infer.policy_probe",
+            category="inference",
+            clock=self.engine.clock,
+            switch=self.engine.switch_name,
+            cache_size=self.cache_size,
+        )
         while len(result.terms) < self.max_terms:
             free = [a for a in FlowAttribute if a not in found]
             if not free:
                 break
-            if not found:
-                best, best_score, correlations = self._first_round(free)
-            else:
-                best, best_score, correlations = self._recursion_round(free)
+            with self.engine.tracer.span(
+                "infer.policy.round",
+                category="inference",
+                clock=self.engine.clock,
+                round=result.rounds,
+                free=len(free),
+            ) as round_span:
+                if not found:
+                    best, best_score, correlations = self._first_round(free)
+                else:
+                    best, best_score, correlations = self._recursion_round(free)
+                round_span.set(
+                    best=best[0].value if best is not None else None,
+                    score=round(best_score, 6),
+                )
+            self.engine.metrics.counter("infer.policy.rounds").inc()
             result.rounds += 1
             result.correlations.append(correlations)
 
@@ -278,10 +297,15 @@ class PolicyProber:
                 break
 
         self.engine.remove_all_flows()
+        root.set(
+            rounds=result.rounds,
+            terms=" > ".join(a.value for a, _ in result.terms),
+        ).close()
         self.engine.scores.put(
             self.engine.switch_name,
             "policy_probe",
             result,
             recorded_at_ms=self.engine.now_ms,
+            source="policy_prober",
         )
         return result

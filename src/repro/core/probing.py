@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro.obs.metrics import MetricsRegistry, NULL_METRICS
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.openflow.channel import ControlChannel
 from repro.openflow.match import IpPrefix, Match, MatchKind, PacketFields
 from repro.openflow.messages import FlowMod, FlowModCommand, PacketOut
@@ -61,6 +63,9 @@ class ProbingEngine:
         scores: shared Tango score database.
         rng: randomness for sampling experiments.
         match_kind: width class used for generated probe rules.
+        tracer: telemetry tracer; spans/events are timestamped from this
+            engine's virtual clock (defaults to the disabled tracer).
+        metrics: metrics registry (defaults to the disabled registry).
     """
 
     def __init__(
@@ -70,6 +75,8 @@ class ProbingEngine:
         rng: Optional[SeededRng] = None,
         match_kind: MatchKind = MatchKind.L3,
         address_base: int = 0x0A00_0000,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.channel = channel
         self.scores = scores if scores is not None else TangoScoreDatabase()
@@ -78,6 +85,17 @@ class ProbingEngine:
         self.address_base = address_base
         self.flows: List[ProbeHandle] = []
         self._next_index = 0
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.clock = lambda: self.channel.clock.now_ms
+        # Handles cached once so the per-packet cost with telemetry off
+        # is a single no-op method call.
+        switch = self.channel.switch.name
+        self._m_packets = self.metrics.counter("probe.packets_sent", switch=switch)
+        self._m_flow_mods = self.metrics.counter("probe.flow_mods_sent", switch=switch)
+        self._m_retries = self.metrics.counter("probe.rtt_retries", switch=switch)
+        self._m_timeouts = self.metrics.counter("probe.rtt_timeouts", switch=switch)
+        self._m_installed = self.metrics.gauge("probe.flows_installed", switch=switch)
 
     @property
     def switch_name(self) -> str:
@@ -102,6 +120,8 @@ class ProbingEngine:
         """Install the probe flow (raises TableFullError when rejected)."""
         self.channel.send_flow_mod(handle.flow_mod(FlowModCommand.ADD))
         self.flows.append(handle)
+        self._m_flow_mods.inc()
+        self._m_installed.set(len(self.flows))
 
     def install_new_flow(self, priority: int = 100) -> ProbeHandle:
         handle = self.new_handle(priority=priority)
@@ -111,11 +131,14 @@ class ProbingEngine:
     def remove_all_flows(self) -> None:
         for handle in self.flows:
             self.channel.send_flow_mod(handle.flow_mod(FlowModCommand.DELETE))
+            self._m_flow_mods.inc()
         self.flows.clear()
+        self._m_installed.set(0)
 
     # -- traffic ---------------------------------------------------------------
     def send_probe_packet(self, handle: ProbeHandle) -> float:
         """Send one packet matching the handle's rule; returns RTT (ms)."""
+        self._m_packets.inc()
         return self.channel.send_packet_out(PacketOut(packet=handle.packet))
 
     def measure_rtt(self, handle: ProbeHandle, retries: int = 3) -> float:
@@ -129,8 +152,19 @@ class ProbingEngine:
         rtt = self.send_probe_packet(handle)
         attempts = 0
         while rtt >= timeout_ms and attempts < retries:
+            self._m_retries.inc()
             rtt = self.send_probe_packet(handle)
             attempts += 1
+        if rtt >= timeout_ms:
+            self._m_timeouts.inc()
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "probe.rtt_timeout",
+                    category="probing",
+                    clock=self.clock,
+                    flow=handle.index,
+                    retries=attempts,
+                )
         return rtt
 
     def select_random(self) -> ProbeHandle:
@@ -144,20 +178,34 @@ class ProbingEngine:
         Returns a dict with the flow_mod completion time and the list of
         per-packet RTTs, also stored in the score database.
         """
-        start = self.now_ms
-        for flow_mod in pattern.flow_mods:
-            self.channel.send_flow_mod(flow_mod)
-        install_ms = self.now_ms - start
-        rtts = [
-            self.channel.send_packet_out(PacketOut(packet=packet))
-            for packet in pattern.traffic
-        ]
-        result = {"install_ms": install_ms, "rtts_ms": rtts}
+        with self.tracer.span(
+            "probe.apply_pattern",
+            category="probing",
+            clock=self.clock,
+            pattern=pattern.name,
+            switch=self.switch_name,
+        ) as span:
+            start = self.now_ms
+            for flow_mod in pattern.flow_mods:
+                self.channel.send_flow_mod(flow_mod)
+            self._m_flow_mods.inc(len(pattern.flow_mods))
+            install_ms = self.now_ms - start
+            rtts = []
+            for packet in pattern.traffic:
+                self._m_packets.inc()
+                rtts.append(self.channel.send_packet_out(PacketOut(packet=packet)))
+            result = {"install_ms": install_ms, "rtts_ms": rtts}
+            span.set(
+                flow_mods=len(pattern.flow_mods),
+                packets=len(rtts),
+                install_ms=install_ms,
+            )
         self.scores.put(
             self.switch_name,
             "pattern_result",
             result,
             recorded_at_ms=self.now_ms,
+            source=f"probing:{pattern.name}",
             pattern=pattern.name,
         )
         return result
@@ -167,4 +215,5 @@ class ProbingEngine:
         start = self.now_ms
         for flow_mod in flow_mods:
             self.channel.send_flow_mod(flow_mod)
+        self._m_flow_mods.inc(len(flow_mods))
         return self.now_ms - start

@@ -29,6 +29,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.patterns import RewritePattern, TangoPatternDatabase
 from repro.core.requests import ReadySimulation, RequestDag, SwitchRequest
+from repro.obs.metrics import MetricsRegistry, NULL_METRICS
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.openflow.channel import ControlChannel
 from repro.openflow.messages import FlowModCommand
 
@@ -66,11 +68,27 @@ class NetworkExecutor:
     different switches serialise correctly.
     """
 
-    def __init__(self, channels: Dict[str, ControlChannel]) -> None:
+    def __init__(
+        self,
+        channels: Dict[str, ControlChannel],
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        trace_requests: bool = False,
+    ) -> None:
         if not channels:
             raise ValueError("need at least one switch channel")
         self.channels = dict(channels)
         self.epoch_ms = 0.0
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.trace_requests = trace_requests
+        self._m_issued = {
+            command: self.metrics.counter(
+                "executor.requests_issued", command=command.value
+            )
+            for command in FlowModCommand
+        }
+        self._m_issue_ms = self.metrics.histogram("executor.issue_ms")
         self.reset_epoch()
 
     def reset_epoch(self) -> None:
@@ -79,6 +97,10 @@ class NetworkExecutor:
         for channel in self.channels.values():
             channel.clock.advance_to(epoch)
         self.epoch_ms = epoch
+
+    def now_ms(self) -> float:
+        """The executor's virtual-time frontier (max over switch clocks)."""
+        return max(ch.clock.now_ms for ch in self.channels.values())
 
     def switch_available_at(self, location: str) -> float:
         return self.channels[location].clock.now_ms
@@ -93,8 +115,21 @@ class NetworkExecutor:
         channel.clock.advance_to(max(channel.clock.now_ms, not_before_ms))
         started = channel.clock.now_ms
         channel.send_flow_mod(request.flow_mod())
+        finished = channel.clock.now_ms
+        self._m_issued[request.command].inc()
+        self._m_issue_ms.observe(finished - started)
+        if self.trace_requests and self.tracer.enabled:
+            self.tracer.event(
+                "executor.issue",
+                category="executor",
+                clock=lambda: finished,
+                request_id=request.request_id,
+                switch=request.location,
+                command=request.command.value,
+                issue_ms=finished - started,
+            )
         return IssueRecord(
-            request=request, started_ms=started, finished_ms=channel.clock.now_ms
+            request=request, started_ms=started, finished_ms=finished
         )
 
 
@@ -118,17 +153,26 @@ class _OrderingOracle:
 
     _CACHE_LIMIT = 4096
 
-    def __init__(self, patterns: Sequence[RewritePattern]) -> None:
+    def __init__(
+        self,
+        patterns: Sequence[RewritePattern],
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         if not patterns:
             raise ValueError("need at least one rewrite pattern")
         self.patterns = list(patterns)
         self._cache: Dict[tuple, Tuple[RewritePattern, Tuple[int, ...]]] = {}
         self.cache_hits = 0
         self.cache_misses = 0
+        registry = metrics if metrics is not None else NULL_METRICS
+        self._m_calls = registry.counter("scheduler.oracle_calls")
+        self._m_scored = registry.counter("scheduler.oracle_requests_scored")
 
     def choose(
         self, requests: Sequence[SwitchRequest]
     ) -> Tuple[RewritePattern, List[SwitchRequest]]:
+        self._m_calls.inc()
+        self._m_scored.inc(len(requests))
         key = tuple((r.request_id, r.command, r.priority) for r in requests)
         cached = self._cache.get(key)
         if cached is not None:
@@ -161,6 +205,10 @@ class BasicTangoScheduler:
         patterns: rewrite patterns to score (defaults to the pattern
             database's registered set).
         pattern_db: optional shared pattern database.
+        tracer: telemetry tracer; per-batch spans are timestamped from
+            the executor's virtual-time frontier (defaults disabled).
+        metrics: metrics registry for batch/request/oracle counters
+            (defaults disabled).
     """
 
     def __init__(
@@ -169,13 +217,64 @@ class BasicTangoScheduler:
         patterns: Optional[Sequence[RewritePattern]] = None,
         pattern_db: Optional[TangoPatternDatabase] = None,
         strict: bool = False,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.executor = executor
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         if patterns is None:
             db = pattern_db if pattern_db is not None else TangoPatternDatabase()
             patterns = db.rewrite_patterns
-        self.oracle = _OrderingOracle(patterns)
+        self.oracle = _OrderingOracle(patterns, metrics=self.metrics)
         self.strict = strict
+        name = type(self).__name__
+        self._m_batches = self.metrics.counter("scheduler.batches", scheduler=name)
+        self._m_requests = self.metrics.counter("scheduler.requests", scheduler=name)
+        self._m_misses = self.metrics.counter(
+            "scheduler.deadline_misses", scheduler=name
+        )
+
+    # -- telemetry -------------------------------------------------------------
+    def _batch_estimate_ms(self, ordered: Sequence[SwitchRequest]) -> Optional[float]:
+        """Estimated batch makespan (per-switch serial), if an estimator
+        is available to this scheduler variant."""
+        estimate = self._strict_estimate()
+        if estimate is None:
+            return None
+        per_switch: Dict[str, float] = defaultdict(float)
+        for request in ordered:
+            per_switch[request.location] += estimate(request)
+        return max(per_switch.values(), default=0.0)
+
+    def _open_batch_span(self, pattern_name: str, batch: Sequence[SwitchRequest], round_index: int):
+        """A per-batch span carrying the oracle's choice and estimates."""
+        span = self.tracer.span(
+            "scheduler.batch",
+            category="scheduler",
+            clock=self.executor.now_ms,
+            pattern=pattern_name,
+            batch_size=len(batch),
+            round=round_index,
+        )
+        if self.tracer.enabled:
+            estimated = self._batch_estimate_ms(batch)
+            if estimated is not None:
+                span.set(estimated_ms=estimated)
+        return span
+
+    def _close_batch_span(
+        self, span, batch_start_ms: float, records: Sequence[IssueRecord]
+    ) -> None:
+        if self.tracer.enabled or self.metrics.enabled:
+            misses = _count_deadline_misses(records, self.executor.epoch_ms)
+            self._m_misses.inc(misses)
+            if self.tracer.enabled:
+                span.set(
+                    actual_ms=self.executor.now_ms() - batch_start_ms,
+                    deadline_misses=misses,
+                )
+        span.close()
 
     # -- static verification (strict mode) ------------------------------------
     def _strict_estimate(self) -> Optional[DurationEstimator]:
@@ -234,6 +333,9 @@ class BasicTangoScheduler:
                 raise RuntimeError("DAG not done but no independent requests")
             pattern, ordered = self.oracle.choose(independent)
             result.pattern_choices.append(pattern.name)
+            span = self._open_batch_span(pattern.name, ordered, result.rounds)
+            batch_start = len(result.records)
+            batch_start_ms = self.executor.now_ms() if self.tracer.enabled else 0.0
             for request in ordered:
                 dep_finish = max(
                     (
@@ -247,6 +349,11 @@ class BasicTangoScheduler:
                 result.records.append(record)
                 dag.mark_done(request)
                 makespan = max(makespan, record.finished_ms)
+            self._close_batch_span(
+                span, batch_start_ms, result.records[batch_start:]
+            )
+            self._m_batches.inc()
+            self._m_requests.inc(len(ordered))
             result.rounds += 1
         result.makespan_ms = makespan - self.executor.epoch_ms
         result.deadline_misses = _count_deadline_misses(
@@ -298,9 +405,16 @@ class PrefixTangoScheduler(BasicTangoScheduler):
         max_prefixes: int = 4,
         lookahead_depth: int = 2,
         strict: bool = False,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         super().__init__(
-            executor, patterns=patterns, pattern_db=pattern_db, strict=strict
+            executor,
+            patterns=patterns,
+            pattern_db=pattern_db,
+            strict=strict,
+            tracer=tracer,
+            metrics=metrics,
         )
         if lookahead_depth < 1:
             raise ValueError("lookahead_depth must be at least 1")
@@ -401,6 +515,11 @@ class PrefixTangoScheduler(BasicTangoScheduler):
             issue_now = ordered[: cut if cut else len(ordered)]
 
             result.pattern_choices.append(pattern.name)
+            span = self._open_batch_span(pattern.name, issue_now, result.rounds)
+            if self.tracer.enabled:
+                span.set(ready=len(ordered), cut=len(issue_now))
+            batch_start = len(result.records)
+            batch_start_ms = self.executor.now_ms() if self.tracer.enabled else 0.0
             for request in issue_now:
                 dep_finish = max(
                     (
@@ -414,6 +533,11 @@ class PrefixTangoScheduler(BasicTangoScheduler):
                 result.records.append(record)
                 dag.mark_done(request)
                 makespan = max(makespan, record.finished_ms)
+            self._close_batch_span(
+                span, batch_start_ms, result.records[batch_start:]
+            )
+            self._m_batches.inc()
+            self._m_requests.inc(len(issue_now))
             sim.commit(r.request_id for r in issue_now)
             result.rounds += 1
         result.makespan_ms = makespan - self.executor.epoch_ms
@@ -441,9 +565,16 @@ class DeadlineAwareTangoScheduler(BasicTangoScheduler):
         patterns: Optional[Sequence[RewritePattern]] = None,
         pattern_db: Optional[TangoPatternDatabase] = None,
         strict: bool = False,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         super().__init__(
-            executor, patterns=patterns, pattern_db=pattern_db, strict=strict
+            executor,
+            patterns=patterns,
+            pattern_db=pattern_db,
+            strict=strict,
+            tracer=tracer,
+            metrics=metrics,
         )
         self.estimate = estimate
 
@@ -483,6 +614,11 @@ class DeadlineAwareTangoScheduler(BasicTangoScheduler):
             result.pattern_choices.append(pattern.name)
             elapsed_epoch = makespan - self.executor.epoch_ms
             urgent, relaxed = self._split_urgent(ordered, elapsed_epoch)
+            span = self._open_batch_span(pattern.name, ordered, result.rounds)
+            if self.tracer.enabled:
+                span.set(urgent=len(urgent))
+            batch_start = len(result.records)
+            batch_start_ms = self.executor.now_ms() if self.tracer.enabled else 0.0
             for request in urgent + relaxed:
                 dep_finish = max(
                     (
@@ -496,6 +632,11 @@ class DeadlineAwareTangoScheduler(BasicTangoScheduler):
                 result.records.append(record)
                 dag.mark_done(request)
                 makespan = max(makespan, record.finished_ms)
+            self._close_batch_span(
+                span, batch_start_ms, result.records[batch_start:]
+            )
+            self._m_batches.inc()
+            self._m_requests.inc(len(ordered))
             result.rounds += 1
         result.makespan_ms = makespan - self.executor.epoch_ms
         result.deadline_misses = _count_deadline_misses(
@@ -522,9 +663,16 @@ class ConcurrentTangoScheduler(BasicTangoScheduler):
         pattern_db: Optional[TangoPatternDatabase] = None,
         guard_ms: float = 5.0,
         strict: bool = False,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         super().__init__(
-            executor, patterns=patterns, pattern_db=pattern_db, strict=strict
+            executor,
+            patterns=patterns,
+            pattern_db=pattern_db,
+            strict=strict,
+            tracer=tracer,
+            metrics=metrics,
         )
         self.estimate = estimate
         self.guard_ms = guard_ms
@@ -549,6 +697,11 @@ class ConcurrentTangoScheduler(BasicTangoScheduler):
             result.pattern_choices.append(pattern.name)
             if not ordered:
                 raise RuntimeError("DAG not done but no independent requests")
+            span = self._open_batch_span(pattern.name, ordered, result.rounds)
+            if self.tracer.enabled:
+                span.set(guard_ms=self.guard_ms)
+            batch_start = len(result.records)
+            batch_start_ms = self.executor.now_ms() if self.tracer.enabled else 0.0
             for request in ordered:
                 # Guard times are measured on the executor's timeline, so
                 # dependency-free requests anchor at the epoch -- not at
@@ -573,6 +726,11 @@ class ConcurrentTangoScheduler(BasicTangoScheduler):
                 result.records.append(record)
                 dag.mark_done(request)
                 makespan = max(makespan, record.finished_ms)
+            self._close_batch_span(
+                span, batch_start_ms, result.records[batch_start:]
+            )
+            self._m_batches.inc()
+            self._m_requests.inc(len(ordered))
             result.rounds += 1
         result.makespan_ms = makespan - self.executor.epoch_ms
         result.deadline_misses = _count_deadline_misses(

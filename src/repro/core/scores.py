@@ -8,7 +8,7 @@ share them (Section 4).  Scores are keyed by (switch, metric, parameters).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -26,11 +26,19 @@ class ScoreKey:
 
 @dataclass
 class ScoreRecord:
-    """One stored measurement (a scalar, curve, or structured result)."""
+    """One stored measurement (a scalar, curve, or structured result).
+
+    ``source`` is run provenance: which engine (and, where relevant,
+    which probing pattern) produced the value -- e.g.
+    ``"probing:priority-asc"`` or ``"size_prober"``.  It is not part of
+    the key, so records written before provenance existed keep their
+    identity and readers that ignore it are unaffected.
+    """
 
     key: ScoreKey
     value: Any
     recorded_at_ms: float = 0.0
+    source: Optional[str] = None
 
 
 class TangoScoreDatabase:
@@ -39,15 +47,31 @@ class TangoScoreDatabase:
     def __init__(self) -> None:
         self._records: Dict[ScoreKey, ScoreRecord] = {}
 
-    def put(self, switch: str, metric: str, value: Any, recorded_at_ms: float = 0.0, **params: Any) -> ScoreKey:
+    def put(
+        self,
+        switch: str,
+        metric: str,
+        value: Any,
+        recorded_at_ms: float = 0.0,
+        source: Optional[str] = None,
+        **params: Any,
+    ) -> ScoreKey:
         key = ScoreKey.make(switch, metric, **params)
-        self._records[key] = ScoreRecord(key=key, value=value, recorded_at_ms=recorded_at_ms)
+        self._records[key] = ScoreRecord(
+            key=key, value=value, recorded_at_ms=recorded_at_ms, source=source
+        )
         return key
 
     def get(self, switch: str, metric: str, default: Any = None, **params: Any) -> Any:
         key = ScoreKey.make(switch, metric, **params)
         record = self._records.get(key)
         return record.value if record is not None else default
+
+    def get_record(
+        self, switch: str, metric: str, **params: Any
+    ) -> Optional[ScoreRecord]:
+        """The full stored record (value + timestamp + provenance)."""
+        return self._records.get(ScoreKey.make(switch, metric, **params))
 
     def has(self, switch: str, metric: str, **params: Any) -> bool:
         return ScoreKey.make(switch, metric, **params) in self._records

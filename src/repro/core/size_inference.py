@@ -116,18 +116,29 @@ class SizeProber:
         """Insert rules in doubling batches; True if the switch rejected."""
         cache_full = False
         batch = self.initial_batch
-        while not cache_full and len(self.engine.flows) < self.max_rules:
-            target = min(len(self.engine.flows) + batch, self.max_rules)
-            while len(self.engine.flows) < target:
-                handle = self.engine.new_handle(priority=self.priority)
-                try:
-                    self.engine.install_flow(handle)
-                except TableFullError:
-                    cache_full = True
-                    break
-                # Traffic upon insertion keeps every cache slot occupied.
-                self.engine.send_probe_packet(handle)
-            batch *= 2
+        rounds = 0
+        with self.engine.tracer.span(
+            "infer.size.fill", category="inference", clock=self.engine.clock
+        ) as span:
+            while not cache_full and len(self.engine.flows) < self.max_rules:
+                target = min(len(self.engine.flows) + batch, self.max_rules)
+                while len(self.engine.flows) < target:
+                    handle = self.engine.new_handle(priority=self.priority)
+                    try:
+                        self.engine.install_flow(handle)
+                    except TableFullError:
+                        cache_full = True
+                        break
+                    # Traffic upon insertion keeps every cache slot occupied.
+                    self.engine.send_probe_packet(handle)
+                batch *= 2
+                rounds += 1
+            span.set(
+                doubling_rounds=rounds,
+                rules_installed=len(self.engine.flows),
+                cache_full=cache_full,
+            )
+        self.engine.metrics.counter("infer.size.doubling_rounds").inc(rounds)
         return cache_full
 
     # -- stage 2 ----------------------------------------------------------------
@@ -135,11 +146,16 @@ class SizeProber:
         rtts = []
         flows = list(self.engine.flows)
         self.engine.rng.shuffle(flows)
-        for handle in flows:
-            rtts.append(self.engine.measure_rtt(handle))
-        return cluster_1d(
-            rtts, min_gap_ms=self.cluster_gap_ms, min_cluster_fraction=0.002
-        )
+        with self.engine.tracer.span(
+            "infer.size.cluster", category="inference", clock=self.engine.clock
+        ) as span:
+            for handle in flows:
+                rtts.append(self.engine.measure_rtt(handle))
+            clusters = cluster_1d(
+                rtts, min_gap_ms=self.cluster_gap_ms, min_cluster_fraction=0.002
+            )
+            span.set(probes=len(rtts), clusters=len(clusters))
+        return clusters
 
     # -- stage 3 ----------------------------------------------------------------
     def _sample_level(self, clusters: List[Cluster], level: int, m: int) -> LayerEstimate:
@@ -149,6 +165,12 @@ class SizeProber:
         # accuracy target (subject to the O(n) packet budget).
         target_hits = int(round(1.0 / self.accuracy_target**2))
         packet_budget = self.packet_budget_factor * m
+        span = self.engine.tracer.span(
+            "infer.size.sample_layer",
+            category="inference",
+            clock=self.engine.clock,
+            layer=level,
+        )
         packets = 0
         total_hits = 0
         trials_done = 0
@@ -171,6 +193,13 @@ class SizeProber:
                 # The layer holds (nearly) every rule; cap per the paper.
                 capped = True
         estimated = round(m * total_hits / (trials_done + total_hits)) if total_hits else 0
+        span.set(
+            mle_trials=trials_done,
+            mle_hits=total_hits,
+            packets=packets,
+            estimated_size=estimated,
+        ).close()
+        self.engine.metrics.counter("infer.size.sample_trials").inc(trials_done)
         return LayerEstimate(
             mean_rtt_ms=clusters[level].mean_ms,
             estimated_size=estimated,
@@ -181,9 +210,16 @@ class SizeProber:
     # -- public API ------------------------------------------------------------
     def probe(self) -> SizeProbeResult:
         """Run all three stages and return the per-layer size estimates."""
+        root = self.engine.tracer.span(
+            "infer.size_probe",
+            category="inference",
+            clock=self.engine.clock,
+            switch=self.engine.switch_name,
+        )
         cache_full = self._fill()
         m = len(self.engine.flows)
         if m == 0:
+            root.set(rules_installed=0, layers=0).close()
             return SizeProbeResult(
                 total_rules_installed=0,
                 cache_full=cache_full,
@@ -234,10 +270,17 @@ class SizeProber:
             rules_sent=m + (1 if cache_full else 0),
             packets_sent=m * 2 + sum(l.total_hits + l.sample_trials for l in layers),
         )
+        root.set(
+            rules_installed=m,
+            layers=len(layers),
+            packets_sent=result.packets_sent,
+            cache_full=cache_full,
+        ).close()
         self.engine.scores.put(
             self.engine.switch_name,
             "size_probe",
             result,
             recorded_at_ms=self.engine.now_ms,
+            source="size_prober",
         )
         return result

@@ -141,9 +141,20 @@ class EmulatedNetwork:
                 installed += 1
         return installed
 
-    def executor(self) -> NetworkExecutor:
-        """A network executor over every switch in the topology."""
-        return NetworkExecutor(self.channels)
+    def executor(
+        self, metrics=None, tracer=None, trace_requests: bool = False
+    ) -> NetworkExecutor:
+        """A network executor over every switch in the topology.
+
+        Telemetry arguments are forwarded to
+        :class:`~repro.core.scheduler.NetworkExecutor` unchanged.
+        """
+        return NetworkExecutor(
+            self.channels,
+            metrics=metrics,
+            tracer=tracer,
+            trace_requests=trace_requests,
+        )
 
     def reset_rules(self) -> None:
         """Wipe all switch rule state (between scheduler comparisons)."""

@@ -1,0 +1,62 @@
+"""``repro.obs`` -- structured tracing, metrics, and run provenance.
+
+The telemetry subsystem behind every measurement-driven decision in the
+reproduction: a deterministic span/event tracer timestamped from the
+*simulated* clock (:mod:`repro.obs.trace`), a metrics registry with
+counters/gauges/histograms (:mod:`repro.obs.metrics`), and exporters
+for JSONL, Chrome ``trace_event``, and Prometheus text formats
+(:mod:`repro.obs.export`), surfaced by the ``tango-trace`` CLI
+(:mod:`repro.obs.cli`).
+
+All instrumented components default to the disabled null objects
+(:data:`NULL_TRACER`, :data:`NULL_METRICS`), so telemetry off means a
+single attribute check on the hot paths and zero recorded state.
+"""
+
+from repro.obs.export import (
+    prometheus_text,
+    read_jsonl,
+    summarize_events,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRICS,
+    NullMetricsRegistry,
+    default_registry,
+    scoped,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TraceEvent,
+    Tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "NullMetricsRegistry",
+    "NullTracer",
+    "Span",
+    "TraceEvent",
+    "Tracer",
+    "default_registry",
+    "prometheus_text",
+    "read_jsonl",
+    "scoped",
+    "summarize_events",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]

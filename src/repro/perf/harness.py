@@ -38,6 +38,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.scheduler import BasicTangoScheduler, PrefixTangoScheduler
+from repro.obs.metrics import MetricsRegistry
 from repro.perf.reference import ReferenceBasicTangoScheduler, SortedListShiftModel
 from repro.perf.workloads import (
     UNLOCK_ESTIMATES,
@@ -112,12 +113,18 @@ def _schedule_signature(result) -> Tuple[float, int, Tuple[str, ...], int]:
 def _bench_schedule(case: str, build_dag, n: int, with_reference: bool) -> BenchRecord:
     dag = build_dag(n)
     dag.ops.clear()
-    scheduler = BasicTangoScheduler(fast_executor())
+    # The gated arm runs with a live metrics registry attached: the op
+    # attribution lands in the report, and -- because the op-count gate
+    # compares against the uninstrumented baseline -- any instrumentation
+    # cost that leaked into the hot path would trip the 1.5x threshold.
+    registry = MetricsRegistry()
+    scheduler = BasicTangoScheduler(fast_executor(), metrics=registry)
     wall_ms, result = _timed(lambda: scheduler.schedule(dag))
     record = BenchRecord(case=case, n=n, wall_ms=wall_ms, ops=dag.ops.total())
     record.detail = {
         "makespan_ms": result.makespan_ms,
         "rounds": result.rounds,
+        "attribution": registry.snapshot(),
     }
     if with_reference and n <= REFERENCE_CAP:
         ref_dag = build_dag(n)
@@ -152,7 +159,10 @@ def bench_descending_shifts(n: int, with_reference: bool = True) -> BenchRecord:
     record = BenchRecord(
         case="descending_shifts", n=n, wall_ms=wall_ms, ops=model.accounting_ops
     )
-    record.detail = {"total_shifts": shifts}
+    registry = MetricsRegistry()
+    registry.counter("tcam.shift_model_queries").inc(len(priorities))
+    registry.counter("tcam.shift_accounting_ops").inc(model.accounting_ops)
+    record.detail = {"total_shifts": shifts, "attribution": registry.snapshot()}
     if with_reference and n <= REFERENCE_CAP:
 
         def run_sorted_list():
@@ -173,10 +183,12 @@ def bench_prefix_lookahead(n: int, with_reference: bool = True) -> BenchRecord:
     size = min(n, LOOKAHEAD_CAP)
     dag = unlock_groups_dag(size)
     dag.ops.clear()
+    registry = MetricsRegistry()
     scheduler = PrefixTangoScheduler(
         fast_executor("a", "b"),
         estimate=lambda request: UNLOCK_ESTIMATES[request.location],
         lookahead_depth=2,
+        metrics=registry,
     )
     wall_ms, result = _timed(lambda: scheduler.schedule(dag))
     record = BenchRecord(
@@ -187,6 +199,7 @@ def bench_prefix_lookahead(n: int, with_reference: bool = True) -> BenchRecord:
         "rounds": result.rounds,
         "oracle_cache_hits": scheduler.oracle.cache_hits,
         "oracle_cache_misses": scheduler.oracle.cache_misses,
+        "attribution": registry.snapshot(),
     }
     return record
 
@@ -199,6 +212,39 @@ _CASES = (
 )
 
 
+def verify_noop_instrumentation(n: int = 1000) -> Dict[str, object]:
+    """Assert that attached telemetry never changes scheduling work.
+
+    Runs the layered case twice -- bare, then with a live tracer and
+    metrics registry -- and requires identical schedule signatures and
+    DAG op counts.  Raises :class:`AssertionError` on any divergence;
+    returns the comparison payload for reporting.
+    """
+    from repro.obs.trace import Tracer
+
+    bare_dag = layered_dag(n)
+    bare_dag.ops.clear()
+    bare = BasicTangoScheduler(fast_executor()).schedule(bare_dag)
+
+    traced_dag = layered_dag(n)
+    traced_dag.ops.clear()
+    tracer = Tracer()
+    scheduler = BasicTangoScheduler(
+        fast_executor(), tracer=tracer, metrics=MetricsRegistry()
+    )
+    traced = scheduler.schedule(traced_dag)
+
+    payload: Dict[str, object] = {
+        "bare_ops": bare_dag.ops.total(),
+        "traced_ops": traced_dag.ops.total(),
+        "signatures_equal": _schedule_signature(bare) == _schedule_signature(traced),
+        "trace_events": len(tracer),
+    }
+    if payload["bare_ops"] != payload["traced_ops"] or not payload["signatures_equal"]:
+        raise AssertionError(f"telemetry changed scheduler work: {payload}")
+    return payload
+
+
 def run_suite(
     sizes: Optional[Sequence[int]] = None,
     quick: bool = False,
@@ -207,6 +253,9 @@ def run_suite(
     """Run every case at every size; dedupe (case, n) collisions."""
     if sizes is None:
         sizes = QUICK_SIZES if quick else FULL_SIZES
+    # Telemetry must be free: a tracer/metrics attach that altered the
+    # deterministic op counts would also poison the regression gate below.
+    verify_noop_instrumentation()
     records: List[BenchRecord] = []
     seen = set()
     for n in sizes:

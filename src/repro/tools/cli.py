@@ -52,6 +52,13 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the inferred model as JSON instead of a report",
     )
+    probe.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="record a telemetry trace; writes PATH.jsonl, "
+        "PATH.chrome.json (load in Perfetto/chrome://tracing), and "
+        "PATH.prom (metrics dump)",
+    )
 
     sub.add_parser("profiles", help="list the available vendor profiles")
 
@@ -73,6 +80,12 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="statically verify the request DAG (repro.analysis) and "
         "abort on ERROR diagnostics before scheduling",
+    )
+    schedule.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="record a telemetry trace of every arm; writes PATH.jsonl, "
+        "PATH.chrome.json, and PATH.prom",
     )
 
     bench = sub.add_parser(
@@ -126,6 +139,34 @@ def _print_report(model, out) -> None:
             )
 
 
+def _make_telemetry(args):
+    """(tracer, metrics) for ``--trace``, or the null pair without it."""
+    from repro.obs import NULL_METRICS, NULL_TRACER, MetricsRegistry, Tracer
+
+    if getattr(args, "trace", None):
+        return Tracer(), MetricsRegistry()
+    return NULL_TRACER, NULL_METRICS
+
+
+def _write_trace_outputs(args, tracer, metrics, out) -> None:
+    """Write the three ``--trace`` artifacts next to the given base path."""
+    if not getattr(args, "trace", None):
+        return
+    from repro.obs import prometheus_text, write_chrome_trace, write_jsonl
+
+    base = args.trace
+    events = tracer.events
+    write_jsonl(events, base + ".jsonl")
+    write_chrome_trace(events, base + ".chrome.json")
+    with open(base + ".prom", "w", encoding="utf-8") as handle:
+        handle.write(prometheus_text(metrics))
+    print(
+        f"trace: {len(events)} events -> {base}.jsonl, "
+        f"{base}.chrome.json, {base}.prom",
+        file=out,
+    )
+
+
 def _run_schedule(args, out) -> int:
     from repro.baselines import DionysusScheduler
     from repro.core.patterns import make_type_only_pattern
@@ -157,12 +198,16 @@ def _run_schedule(args, out) -> int:
         result.apply_preinstall(network)
         return result
 
+    tracer, metrics = _make_telemetry(args)
     arms = {
-        "dionysus": lambda ex: DionysusScheduler(ex),
+        "dionysus": lambda ex: DionysusScheduler(ex, tracer=tracer, metrics=metrics),
         "tango-type": lambda ex: BasicTangoScheduler(
-            ex, patterns=[make_type_only_pattern()]
+            ex,
+            patterns=[make_type_only_pattern()],
+            tracer=tracer,
+            metrics=metrics,
         ),
-        "tango": lambda ex: BasicTangoScheduler(ex),
+        "tango": lambda ex: BasicTangoScheduler(ex, tracer=tracer, metrics=metrics),
     }
     print(
         f"scenario {args.scenario}: {args.flows} flows on the triangle testbed",
@@ -198,7 +243,9 @@ def _run_schedule(args, out) -> int:
                 f"{len(report.warnings())} warning(s)",
                 file=out,
             )
-        outcome = factory(network.executor()).schedule(result.dag)
+        tracer.event("schedule.arm", category="cli", arm=label)
+        executor = network.executor(metrics=metrics, tracer=tracer)
+        outcome = factory(executor).schedule(result.dag)
         seconds = outcome.makespan_ms / 1000.0
         if baseline is None:
             baseline = seconds
@@ -206,6 +253,7 @@ def _run_schedule(args, out) -> int:
         else:
             note = f"({(baseline - seconds) / baseline * 100:+.0f}% vs Dionysus)"
         print(f"  {label:12s}: {seconds:7.2f} s {note}", file=out)
+    _write_trace_outputs(args, tracer, metrics, out)
     return 0
 
 
@@ -230,11 +278,14 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return 0
 
     profile = VENDOR_PROFILES[args.profile]
+    tracer, metrics = _make_telemetry(args)
     engine = SwitchInferenceEngine(
         profile,
         seed=args.seed,
         size_probe_max_rules=args.max_rules,
         latency_batch_sizes=(100, 400, 900),
+        tracer=tracer,
+        metrics=metrics,
     )
     model = engine.infer(include_policy=args.policy)
     if args.json:
@@ -243,6 +294,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         print(json.dumps(model.to_dict(), indent=2), file=out)
     else:
         _print_report(model, out)
+    _write_trace_outputs(args, tracer, metrics, out)
     return 0
 
 

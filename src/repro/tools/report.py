@@ -52,6 +52,34 @@ def render_diagnostics(diagnostics: List[Any], heading: str = "### Diagnostics")
     return lines
 
 
+def render_telemetry(summary: Dict[str, Any], heading: str = "### Telemetry") -> List[str]:
+    """Markdown lines for a trace summary.
+
+    Accepts the payload produced by
+    :func:`repro.obs.export.summarize_events` (the form benchmarks store
+    in ``extra_info["telemetry"]``).
+    """
+    lines = [heading, ""]
+    lines.append(f"- events: {summary.get('events', 0)}")
+    spans = summary.get("spans") or {}
+    for key in sorted(spans):
+        stats = spans[key]
+        lines.append(
+            f"- span `{key}`: x{stats.get('count', 0)}, "
+            f"total {stats.get('total_ms', 0.0):.2f} ms, "
+            f"max {stats.get('max_ms', 0.0):.2f} ms"
+        )
+    instants = summary.get("instants") or {}
+    for key in sorted(instants):
+        lines.append(f"- event `{key}`: x{instants[key]}")
+    patterns = summary.get("patterns") or {}
+    if patterns:
+        chosen = ", ".join(f"{name} x{count}" for name, count in sorted(patterns.items()))
+        lines.append(f"- pattern choices: {chosen}")
+    lines.append("")
+    return lines
+
+
 def render_report(data: Dict[str, Any]) -> str:
     """Markdown report from a pytest-benchmark JSON payload."""
     lines = ["# Tango reproduction — benchmark report", ""]
@@ -75,6 +103,7 @@ def render_report(data: Dict[str, Any]) -> str:
             lines.append("")
         extra = dict(bench.get("extra_info") or {})
         diagnostics = extra.pop("diagnostics", None)
+        telemetry = extra.pop("telemetry", None)
         if extra:
             lines.append("Reported results:")
             for key, value in extra.items():
@@ -83,11 +112,14 @@ def render_report(data: Dict[str, Any]) -> str:
                     lines.extend(_format_value(value, indent=1))
                 else:
                     lines.append(f"- **{key}**: {value}")
-        elif diagnostics is None:
+        elif diagnostics is None and telemetry is None:
             lines.append("(no extra_info recorded)")
         if diagnostics:
             lines.append("")
             lines.extend(render_diagnostics(diagnostics))
+        if telemetry:
+            lines.append("")
+            lines.extend(render_telemetry(telemetry))
         lines.append("")
     return "\n".join(lines)
 

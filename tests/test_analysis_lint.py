@@ -31,6 +31,24 @@ def test_wall_clock_allowed_inside_perf():
     assert _codes("import time\nt = time.perf_counter()\n", "perf/harness.py") == []
 
 
+def test_wall_clock_ns_variants_are_flagged():
+    assert _codes("import time\nt = time.perf_counter_ns()\n") == ["TNG030"]
+    assert _codes("import time\nt = time.monotonic_ns()\n") == ["TNG030"]
+    assert _codes("import time\nt = time.time_ns()\n") == ["TNG030"]
+    assert _codes("import time\nt = time.process_time_ns()\n") == ["TNG030"]
+
+
+def test_wall_clock_ns_variants_allowed_inside_perf():
+    assert (
+        _codes("import time\nt = time.perf_counter_ns()\n", "perf/harness.py") == []
+    )
+
+
+def test_datetime_dotted_now_and_utcnow_are_flagged():
+    assert _codes("import datetime\nd = datetime.datetime.now()\n") == ["TNG030"]
+    assert _codes("import datetime\nd = datetime.datetime.utcnow()\n") == ["TNG030"]
+
+
 def test_virtual_clock_reads_are_fine():
     assert _codes("now = clock.now_ms\n") == []
 

@@ -1,0 +1,148 @@
+"""Tests for the trace/metrics exporters."""
+
+import io
+import json
+
+from repro.obs.export import (
+    prometheus_text,
+    read_jsonl,
+    summarize_events,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceEvent, Tracer
+
+
+def _sample_events():
+    tracer = Tracer(now_ms=lambda: 0.0)
+    clock = iter([1.0, 3.0, 4.0, 9.0]).__next__
+    with tracer.span("batch", category="scheduler", clock=clock, pattern="P1"):
+        pass
+    with tracer.span("batch", category="scheduler", clock=clock, pattern="P2"):
+        pass
+    tracer.event("timeout", category="probing", flow=3)
+    return tracer.events
+
+
+def test_jsonl_roundtrip_through_file_handle():
+    events = _sample_events()
+    buffer = io.StringIO()
+    assert write_jsonl(events, buffer) == len(events)
+    assert read_jsonl(io.StringIO(buffer.getvalue())) == events
+
+
+def test_jsonl_roundtrip_through_path(tmp_path):
+    events = _sample_events()
+    path = str(tmp_path / "trace.jsonl")
+    write_jsonl(events, path)
+    assert read_jsonl(path) == events
+
+
+def test_jsonl_is_byte_deterministic():
+    first, second = io.StringIO(), io.StringIO()
+    write_jsonl(_sample_events(), first)
+    write_jsonl(_sample_events(), second)
+    assert first.getvalue() == second.getvalue()
+    # Compact separators and sorted keys, one object per line.
+    line = first.getvalue().splitlines()[0]
+    assert ": " not in line
+    keys = list(json.loads(line))
+    assert keys == sorted(keys)
+
+
+def test_chrome_trace_structure():
+    doc = to_chrome_trace(_sample_events())
+    assert doc["displayTimeUnit"] == "ms"
+    records = doc["traceEvents"]
+    metadata = [r for r in records if r["ph"] == "M"]
+    spans = [r for r in records if r["ph"] == "X"]
+    instants = [r for r in records if r["ph"] == "i"]
+    # One named track per category (sorted: probing=0, scheduler=1).
+    assert [m["args"]["name"] for m in metadata] == ["probing", "scheduler"]
+    assert len(spans) == 2 and len(instants) == 1
+    first = spans[0]
+    assert first["ts"] == 1000.0  # ms -> us
+    assert first["dur"] == 2000.0
+    assert first["args"]["pattern"] == "P1"
+    assert instants[0]["s"] == "t"
+    assert spans[0]["tid"] != instants[0]["tid"]
+
+
+def test_chrome_trace_empty_category_named_trace():
+    tracer = Tracer()
+    tracer.event("bare")
+    doc = to_chrome_trace(tracer.events)
+    (metadata, instant) = doc["traceEvents"]
+    assert metadata["args"]["name"] == "trace"
+    assert instant["cat"] == "trace"
+
+
+def test_write_chrome_trace_to_path_is_valid_json(tmp_path):
+    path = str(tmp_path / "trace.chrome.json")
+    count = write_chrome_trace(_sample_events(), path)
+    assert count == 3
+    with open(path) as handle:
+        doc = json.load(handle)
+    assert "traceEvents" in doc
+
+
+def test_prometheus_text_families_and_histogram():
+    registry = MetricsRegistry()
+    registry.counter("probe.packets_sent", switch="s1").inc(4)
+    registry.counter("probe.packets_sent", switch="s2").inc(2)
+    registry.gauge("probe.flows_installed").set(7)
+    histogram = registry.histogram("executor.issue_ms", buckets=(1.0, 10.0))
+    histogram.observe(0.5)
+    histogram.observe(5.0)
+    histogram.observe(50.0)
+    text = prometheus_text(registry)
+    # One TYPE line per family even with several label sets.
+    assert text.count("# TYPE probe_packets_sent counter") == 1
+    assert 'probe_packets_sent{switch="s1"} 4' in text
+    assert 'probe_packets_sent{switch="s2"} 2' in text
+    assert "# TYPE probe_flows_installed gauge" in text
+    assert 'executor_issue_ms_bucket{le="1"} 1' in text
+    assert 'executor_issue_ms_bucket{le="10"} 2' in text  # cumulative
+    assert 'executor_issue_ms_bucket{le="+Inf"} 3' in text
+    assert "executor_issue_ms_sum 55.5" in text
+    assert "executor_issue_ms_count 3" in text
+
+
+def test_prometheus_text_empty_registry_is_empty():
+    assert prometheus_text(MetricsRegistry()) == ""
+
+
+def test_summarize_events_rolls_up_spans_instants_patterns():
+    summary = summarize_events(_sample_events())
+    assert summary["events"] == 3
+    stats = summary["spans"]["scheduler/batch"]
+    assert stats["count"] == 2
+    assert stats["total_ms"] == 7.0
+    assert stats["max_ms"] == 5.0
+    assert summary["instants"] == {"probing/timeout": 1}
+    assert summary["patterns"] == {"P1": 1, "P2": 1}
+
+
+def test_summarize_events_empty():
+    summary = summarize_events([])
+    assert summary["events"] == 0
+    assert summary["spans"] == {}
+    assert summary["patterns"] == {}
+
+
+def test_read_jsonl_skips_blank_lines():
+    buffer = io.StringIO()
+    write_jsonl(_sample_events(), buffer)
+    padded = "\n" + buffer.getvalue() + "\n\n"
+    assert len(read_jsonl(io.StringIO(padded))) == 3
+
+
+def test_roundtrip_preserves_instant_event(tmp_path):
+    event = TraceEvent(event_id=1, name="tick", category="c", start_ms=2.0)
+    path = str(tmp_path / "one.jsonl")
+    write_jsonl([event], path)
+    (loaded,) = read_jsonl(path)
+    assert loaded == event
+    assert not loaded.is_span

@@ -230,3 +230,25 @@ def test_shift_wall_time_note_is_honest():
     assert record.speedup_ops is not None
     with pytest.raises(AttributeError):
         record.speedup  # no ambiguous single "speedup" field
+
+
+def test_bench_records_carry_op_attribution():
+    record = _chain_case(200, with_reference=False)
+    attribution = record.detail["attribution"]
+    assert attribution["scheduler.oracle_calls"] == 200
+    assert attribution["scheduler.requests{scheduler=BasicTangoScheduler}"] == 200
+    shift = _shifts_case(100, with_reference=False)
+    shift_attr = shift.detail["attribution"]
+    assert shift_attr["tcam.shift_model_queries"] == 100
+    assert shift_attr["tcam.shift_accounting_ops"] == shift.ops
+    lookahead = _lookahead_case(100)
+    assert "scheduler.oracle_calls" in lookahead.detail["attribution"]
+
+
+def test_verify_noop_instrumentation_passes():
+    from repro.perf.harness import verify_noop_instrumentation
+
+    payload = verify_noop_instrumentation(n=200)
+    assert payload["bare_ops"] == payload["traced_ops"] > 0
+    assert payload["signatures_equal"] is True
+    assert payload["trace_events"] > 0

@@ -78,3 +78,71 @@ def test_schedule_subcommand_strict_verifies_before_scheduling():
     text = out.getvalue()
     assert "static verification ok" in text
     assert "baseline" in text
+
+
+def test_probe_trace_writes_all_three_artifacts(tmp_path):
+    base = str(tmp_path / "probe-run")
+    out = io.StringIO()
+    assert (
+        main(
+            [
+                "probe",
+                "--profile",
+                "switch2",
+                "--max-rules",
+                "512",
+                "--trace",
+                base,
+            ],
+            out=out,
+        )
+        == 0
+    )
+    assert "trace:" in out.getvalue()
+    import json
+
+    lines = open(base + ".jsonl").read().splitlines()
+    assert lines and all(json.loads(line)["name"] for line in lines)
+    chrome = json.load(open(base + ".chrome.json"))
+    assert chrome["traceEvents"]
+    assert "# TYPE" in open(base + ".prom").read()
+
+
+def test_schedule_trace_batch_spans_carry_patterns(tmp_path):
+    base = str(tmp_path / "sched-run")
+    out = io.StringIO()
+    assert (
+        main(
+            ["schedule", "--scenario", "lf", "--flows", "20", "--trace", base],
+            out=out,
+        )
+        == 0
+    )
+    import json
+
+    events = [json.loads(line) for line in open(base + ".jsonl")]
+    batches = [e for e in events if e["name"] == "scheduler.batch"]
+    assert batches
+    tango_batches = [e for e in batches if "pattern" in e["attrs"]]
+    assert tango_batches  # every Tango batch names the oracle's choice
+    assert all(e["attrs"]["batch_size"] > 0 for e in batches)
+    dionysus = [e for e in batches if e["attrs"].get("policy") == "critical_path"]
+    assert dionysus
+    prom = open(base + ".prom").read()
+    assert "scheduler_batches" in prom
+    assert "executor_requests_issued" in prom
+
+
+def test_schedule_trace_is_deterministic(tmp_path):
+    outputs = []
+    for name in ("a", "b"):
+        base = str(tmp_path / name)
+        assert (
+            main(
+                ["schedule", "--scenario", "lf", "--flows", "20", "--trace", base],
+                out=io.StringIO(),
+            )
+            == 0
+        )
+        outputs.append(open(base + ".jsonl").read())
+    assert outputs[0] == outputs[1]
