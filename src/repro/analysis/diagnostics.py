@@ -60,6 +60,7 @@ CODE_CATALOG: Dict[str, str] = {
     "TNG032": "unordered iteration over a set feeding deterministic code",
     "TNG033": "mutable default argument",
     "TNG034": "unparseable source: the file is not valid Python",
+    "TNG035": "swallowed exception: bare/broad except handler without a raise",
 }
 
 

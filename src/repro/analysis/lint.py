@@ -26,6 +26,13 @@ this linter walks the package's ASTs and enforces it:
 * **TNG034 unparseable source** — the file is not valid Python; it is
   reported (with the parse error's location) instead of aborting the
   whole lint run.
+* **TNG035 swallowed exception** — a bare ``except:`` or broad
+  ``except Exception``/``except BaseException`` handler whose body never
+  re-raises.  Fault-tolerance code must catch the *specific* transient
+  fault types (:data:`repro.faults.retry.TRANSIENT_FAULTS`): a broad
+  swallow hides permanent signals such as
+  :class:`~repro.openflow.errors.TableFullError` — the size probe's stop
+  condition — and turns deterministic failures into silent divergence.
 
 Run it over the repository itself::
 
@@ -68,6 +75,7 @@ _WALL_CLOCK_CALLS = {
 
 _SET_CONSTRUCTORS = {"set", "frozenset"}
 _MUTABLE_CONSTRUCTORS = {"list", "dict", "set"}
+_BROAD_EXCEPTIONS = {"Exception", "BaseException"}
 
 
 def _dotted(node: ast.AST) -> Optional[str]:
@@ -219,6 +227,37 @@ class _DeterminismVisitor(ast.NodeVisitor):
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._check_defaults(node)
+        self.generic_visit(node)
+
+    # -- TNG035: swallowed exceptions ----------------------------------------
+    @staticmethod
+    def _is_broad_handler(handler: ast.ExceptHandler) -> bool:
+        if handler.type is None:  # bare except:
+            return True
+        names = []
+        if isinstance(handler.type, ast.Tuple):
+            names = [_dotted(element) for element in handler.type.elts]
+        else:
+            names = [_dotted(handler.type)]
+        return any(name in _BROAD_EXCEPTIONS for name in names)
+
+    def visit_Try(self, node: ast.Try) -> None:
+        for handler in node.handlers:
+            if not self._is_broad_handler(handler):
+                continue
+            if any(isinstance(n, ast.Raise) for stmt in handler.body for n in ast.walk(stmt)):
+                continue
+            caught = "bare except" if handler.type is None else (
+                f"except {_dotted(handler.type) or '(...)'}"
+            )
+            self.report.add(
+                "TNG035",
+                Severity.ERROR,
+                f"{caught} swallows the exception (no raise in handler)",
+                location=self._at(handler),
+                hint="catch the specific fault types (e.g. "
+                "repro.faults.retry.TRANSIENT_FAULTS) or re-raise",
+            )
         self.generic_visit(node)
 
 

@@ -5,6 +5,14 @@ runs the size probe (Algorithm 1), the cache-policy probe (Algorithm 2),
 and the latency-curve probe, and assembles an
 :class:`InferredSwitchModel` -- Tango's abstraction of the switch that
 schedulers and applications consume instead of vendor documentation.
+
+**Determinism.**  Every probe draws from child streams of the engine's
+``seed`` and all timing is virtual-clock, so inference is reproducible
+byte-for-byte — including under an attached
+:class:`~repro.faults.FaultInjector`, whose decisions come from its own
+seeded streams.  With a ``retry_policy`` set, probes survive transient
+faults and the assembled model's :attr:`InferredSwitchModel.confidence`
+reports how clean the run was (1.0 = fault-free).
 """
 
 from __future__ import annotations
@@ -51,6 +59,16 @@ class InferredSwitchModel:
         return [layer.estimated_size for layer in self.size_probe.layers]
 
     @property
+    def confidence(self) -> float:
+        """Min confidence over the probes that report one (1.0 = clean)."""
+        values = [
+            probe.confidence
+            for probe in (self.size_probe, self.policy_probe)
+            if probe is not None
+        ]
+        return min(values) if values else 1.0
+
+    @property
     def fast_table_size(self) -> Optional[int]:
         sizes = self.layer_sizes
         return sizes[0] if sizes else None
@@ -77,6 +95,7 @@ class InferredSwitchModel:
                 for layer in self.size_probe.layers
             ]
             summary["cache_full"] = self.size_probe.cache_full
+        summary["confidence"] = round(self.confidence, 6)
         if self.policy_probe is not None:
             summary["policy"] = [
                 {"attribute": attribute.value, "direction": direction.name}
@@ -134,6 +153,12 @@ class SwitchInferenceEngine:
         tracer: telemetry tracer shared by every probing engine built;
             each probe's spans read that engine's own virtual clock.
         metrics: metrics registry shared by every probing engine built.
+        fault_injector: optional :class:`~repro.faults.FaultInjector`;
+            every control channel built for a probe is wrapped so the
+            injector's plan applies to the whole inference run.
+        retry_policy: optional :class:`~repro.faults.RetryPolicy` handed
+            to every probing engine built (deterministic backoff against
+            the injected faults).
     """
 
     def __init__(
@@ -147,6 +172,8 @@ class SwitchInferenceEngine:
         policy_cache_size: Optional[int] = None,
         tracer=None,
         metrics=None,
+        fault_injector=None,
+        retry_policy=None,
     ) -> None:
         self.profile = profile
         self.scores = scores if scores is not None else TangoScoreDatabase()
@@ -157,18 +184,23 @@ class SwitchInferenceEngine:
         self.policy_cache_size = policy_cache_size
         self.tracer = tracer
         self.metrics = metrics
+        self.fault_injector = fault_injector
+        self.retry_policy = retry_policy
         self._build_count = 0
 
     def _fresh_engine(self) -> ProbingEngine:
         self._build_count += 1
         switch = self.profile.build(seed=self.seed + self._build_count)
         channel = ControlChannel(switch)
+        if self.fault_injector is not None:
+            channel = self.fault_injector.wrap_channel(channel)
         return ProbingEngine(
             channel,
             scores=self.scores,
             rng=SeededRng(self.seed).child(f"probe:{self._build_count}"),
             tracer=self.tracer,
             metrics=self.metrics,
+            retry_policy=self.retry_policy,
         )
 
     # -- individual probes ------------------------------------------------------

@@ -26,6 +26,7 @@ import numpy as np
 from repro.core.patterns import RewritePattern, make_del_mod_add_pattern
 from repro.core.probing import ProbingEngine
 from repro.core.scores import TangoScoreDatabase
+from repro.faults.retry import RetryGiveUpError
 from repro.openflow.errors import TableFullError
 from repro.openflow.messages import FlowModCommand
 
@@ -133,6 +134,8 @@ class LatencyCurveProber:
                 engine.install_flow(handle)
             except TableFullError:
                 break
+            except RetryGiveUpError:
+                continue  # degraded mode: the sample just gets smaller
             installed += 1
         return installed, engine.now_ms - start
 
@@ -144,6 +147,8 @@ class LatencyCurveProber:
                 engine.install_flow(handle)
             except TableFullError:
                 break
+            except RetryGiveUpError:
+                continue
             handles.append(handle)
         return handles
 
@@ -152,18 +157,28 @@ class LatencyCurveProber:
         self._switch_name = engine.switch_name
         handles = self._preinstall(engine, n)
         start = engine.now_ms
+        measured = 0
         for handle in handles:
-            engine.channel.send_flow_mod(handle.flow_mod(FlowModCommand.MODIFY))
-        return len(handles), engine.now_ms - start
+            try:
+                engine.send_flow_mod(handle.flow_mod(FlowModCommand.MODIFY))
+            except RetryGiveUpError:
+                continue
+            measured += 1
+        return measured, engine.now_ms - start
 
     def _measure_del(self, n: int) -> Tuple[int, float]:
         engine = self.engine_factory()
         self._switch_name = engine.switch_name
         handles = self._preinstall(engine, n)
         start = engine.now_ms
+        measured = 0
         for handle in handles:
-            engine.channel.send_flow_mod(handle.flow_mod(FlowModCommand.DELETE))
-        return len(handles), engine.now_ms - start
+            try:
+                engine.send_flow_mod(handle.flow_mod(FlowModCommand.DELETE))
+            except RetryGiveUpError:
+                continue
+            measured += 1
+        return measured, engine.now_ms - start
 
     # -- public API -----------------------------------------------------------
     @staticmethod

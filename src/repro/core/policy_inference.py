@@ -20,6 +20,14 @@ priority) with a monotone direction per attribute.  The probe:
    lexicographic term, terminating when a *serial* attribute (insertion
    or use time, which are unique by construction and already induce a
    total order) is found.
+
+**Determinism and degradation.**  The probe itself is deterministic (all
+timing is virtual-clock, the flow design is a fixed bit pattern); under
+injected faults (:mod:`repro.faults`) an install that exhausts its
+retries is dropped from the round — the design stays valid on the
+surviving flows, just with a smaller sample — and the result's
+``confidence`` field reports the clean fraction of installs and RTT
+measurements (1.0 on a fault-free run).
 """
 
 from __future__ import annotations
@@ -31,6 +39,7 @@ import numpy as np
 
 from repro.core.clustering import Cluster, assign_cluster, cluster_1d
 from repro.core.probing import ProbeHandle, ProbingEngine
+from repro.faults.retry import RetryGiveUpError
 from repro.tables.entry import SERIAL_ATTRIBUTES, FlowAttribute
 from repro.tables.policies import CachePolicy, Direction
 
@@ -54,11 +63,17 @@ _PRIORITY_CONSTANT = 1000
 
 @dataclass
 class PolicyProbeResult:
-    """Inference outcome for one switch."""
+    """Inference outcome for one switch.
+
+    ``confidence`` is 1.0 on a clean run and degrades with the fraction
+    of probe installs that gave up after retries and of RTT measurements
+    that timed out during this probe.
+    """
 
     terms: List[Tuple[FlowAttribute, Direction]]
     correlations: List[Dict[str, float]] = field(default_factory=list)
     rounds: int = 0
+    confidence: float = 1.0
 
     def as_policy(self, name: str = "inferred") -> CachePolicy:
         return CachePolicy(terms=tuple(self.terms), name=name)
@@ -128,13 +143,21 @@ class PolicyProber:
         )
         for insertion_rank, index in enumerate(insertion_order):
             handle = self.engine.new_handle(priority=priority_for(index))
-            self.engine.install_flow(handle)
+            try:
+                self.engine.install_flow(handle)
+            except RetryGiveUpError:
+                # Degraded mode: the flow is dropped from this round's
+                # design; ranks of surviving flows keep their relative
+                # order, so correlations stay valid on a smaller sample.
+                continue
             handles[index] = handle
             values[FlowAttribute.INSERTION][index] = float(insertion_rank)
             values[FlowAttribute.PRIORITY][index] = float(handle.priority)
 
         # Traffic counts: high half gets more packets; constant otherwise.
         for index in indices:
+            if handles[index] is None:
+                continue
             if FlowAttribute.TRAFFIC in free_attributes:
                 packets = (
                     _TRAFFIC_HIGH_PACKETS
@@ -152,10 +175,19 @@ class PolicyProber:
             indices, key=lambda i: (_high_bit(i, FlowAttribute.USE_TIME), i)
         )
         for use_rank, index in enumerate(use_order):
+            if handles[index] is None:
+                continue
             self.engine.send_probe_packet(handles[index])
             values[FlowAttribute.USE_TIME][index] = float(use_rank)
 
-        return [h for h in handles if h is not None], values
+        # Compact to surviving flows so handle and value indices agree.
+        kept = [i for i in indices if handles[i] is not None]
+        compact_values = {
+            attribute: [values[attribute][i] for i in kept]
+            for attribute in FlowAttribute
+        }
+        kept_handles = [h for h in (handles[i] for i in kept) if h is not None]
+        return kept_handles, compact_values
 
     def _measure_cached_bits(
         self, handles: List[ProbeHandle], order: Sequence[int]
@@ -259,6 +291,10 @@ class PolicyProber:
         """Infer the policy's lexicographic terms, primary first."""
         result = PolicyProbeResult(terms=[])
         found: List[FlowAttribute] = []
+        installs_before = self.engine.installs_completed
+        giveups_before = self.engine.fault_giveups
+        rtt_measured_before = self.engine.rtt_measurements
+        rtt_timeouts_before = self.engine.rtt_timeouts
         root = self.engine.tracer.span(
             "infer.policy_probe",
             category="inference",
@@ -297,9 +333,17 @@ class PolicyProber:
                 break
 
         self.engine.remove_all_flows()
+        installs = self.engine.installs_completed - installs_before
+        giveups = self.engine.fault_giveups - giveups_before
+        measured = self.engine.rtt_measurements - rtt_measured_before
+        timeouts = self.engine.rtt_timeouts - rtt_timeouts_before
+        install_ok = installs / (installs + giveups) if (installs + giveups) else 1.0
+        measure_ok = (measured - timeouts) / measured if measured else 1.0
+        result.confidence = install_ok * measure_ok
         root.set(
             rounds=result.rounds,
             terms=" > ".join(a.value for a, _ in result.terms),
+            confidence=round(result.confidence, 6),
         ).close()
         self.engine.scores.put(
             self.engine.switch_name,

@@ -5,6 +5,13 @@ switches and collects the measurements (Section 4).  It keeps
 controller-side handles for every probe flow it installs, so inference
 algorithms can later say "measure the RTT of flow 17" and get a data
 packet crafted to match exactly that rule.
+
+**Determinism.**  All timing comes from the channel's virtual clock and
+all randomness from seeded streams: probe sampling draws from the
+engine's ``SeededRng`` and retry backoff jitter from a *separate* child
+stream (``rng.child("retry")``), so enabling a :class:`RetryPolicy` on a
+fault-free channel changes nothing, and a faulted run replays
+byte-for-byte for a fixed (seed, fault plan) pair.
 """
 
 from __future__ import annotations
@@ -12,9 +19,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro.faults.retry import RetryGiveUpError, RetryPolicy, TRANSIENT_FAULTS
 from repro.obs.metrics import MetricsRegistry, NULL_METRICS
 from repro.obs.trace import NULL_TRACER, Tracer
-from repro.openflow.channel import ControlChannel
+from repro.openflow.channel import ChannelRecord, ControlChannel
 from repro.openflow.match import IpPrefix, Match, MatchKind, PacketFields
 from repro.openflow.messages import FlowMod, FlowModCommand, PacketOut
 from repro.core.patterns import ProbePattern
@@ -66,6 +74,11 @@ class ProbingEngine:
         tracer: telemetry tracer; spans/events are timestamped from this
             engine's virtual clock (defaults to the disabled tracer).
         metrics: metrics registry (defaults to the disabled registry).
+        retry_policy: when set, flow_mods hit by transient injected
+            faults (:mod:`repro.faults`) are retried with deterministic
+            exponential backoff on the virtual clock; exhausted retries
+            raise :class:`~repro.faults.RetryGiveUpError`.  ``None``
+            (the default) keeps the historical fail-fast behaviour.
     """
 
     def __init__(
@@ -77,14 +90,24 @@ class ProbingEngine:
         address_base: int = 0x0A00_0000,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self.channel = channel
         self.scores = scores if scores is not None else TangoScoreDatabase()
         self.rng = rng if rng is not None else SeededRng(0).child("probing")
+        self.retry_policy = retry_policy
+        self._retry_rng = self.rng.child("retry") if retry_policy is not None else None
         self.match_kind = match_kind
         self.address_base = address_base
         self.flows: List[ProbeHandle] = []
         self._next_index = 0
+        # Plain counters (always on, unlike metrics): inference stages
+        # diff these to compute the ``confidence`` of their results.
+        self.rtt_measurements = 0
+        self.rtt_timeouts = 0
+        self.installs_completed = 0
+        self.fault_retries = 0
+        self.fault_giveups = 0
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_METRICS
         self.clock = lambda: self.channel.clock.now_ms
@@ -96,6 +119,12 @@ class ProbingEngine:
         self._m_retries = self.metrics.counter("probe.rtt_retries", switch=switch)
         self._m_timeouts = self.metrics.counter("probe.rtt_timeouts", switch=switch)
         self._m_installed = self.metrics.gauge("probe.flows_installed", switch=switch)
+        self._m_fault_retries = self.metrics.counter(
+            "probe.fault_retries", switch=switch
+        )
+        self._m_fault_giveups = self.metrics.counter(
+            "probe.fault_giveups", switch=switch
+        )
 
     @property
     def switch_name(self) -> str:
@@ -104,6 +133,59 @@ class ProbingEngine:
     @property
     def now_ms(self) -> float:
         return self.channel.clock.now_ms
+
+    # -- fault-tolerant sends --------------------------------------------------
+    def send_flow_mod(self, flow_mod: FlowMod) -> ChannelRecord:
+        """Send one flow_mod, retrying transient faults per the policy.
+
+        Without a :class:`RetryPolicy` this is a plain passthrough.
+        With one, transient faults back off exponentially (jitter from
+        the dedicated seeded retry stream, waits spent on the virtual
+        clock, disconnects held until their reconnect instant) and an
+        exhausted budget raises :class:`RetryGiveUpError`.  Permanent
+        OpenFlow errors — ``TableFullError`` above all — always
+        propagate immediately: Algorithm 1 depends on them.
+        """
+        policy = self.retry_policy
+        if policy is None:
+            return self.channel.send_flow_mod(flow_mod)
+        started = self.now_ms
+        attempts = 0
+        while True:
+            try:
+                return self.channel.send_flow_mod(flow_mod)
+            except TRANSIENT_FAULTS as fault:
+                attempts += 1
+                self.fault_retries += 1
+                self._m_fault_retries.inc()
+                if policy.exhausted(attempts, self.now_ms - started):
+                    self.fault_giveups += 1
+                    self._m_fault_giveups.inc()
+                    if self.tracer.enabled:
+                        self.tracer.event(
+                            "probe.retry_giveup",
+                            category="probing",
+                            clock=self.clock,
+                            switch=self.switch_name,
+                            fault=type(fault).__name__,
+                            attempts=attempts,
+                        )
+                    raise RetryGiveUpError("flow_mod", attempts, fault) from fault
+                wait_ms = policy.backoff_ms(attempts, self._retry_rng)
+                if fault.retry_at_ms is not None:
+                    wait_ms = max(wait_ms, fault.retry_at_ms - self.now_ms)
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        "probe.fault_retry",
+                        category="probing",
+                        clock=self.clock,
+                        switch=self.switch_name,
+                        fault=type(fault).__name__,
+                        attempt=attempts,
+                        backoff_ms=wait_ms,
+                    )
+                if wait_ms > 0:
+                    self.channel.clock.advance(wait_ms)
 
     # -- flow management ------------------------------------------------------
     def new_handle(self, priority: int = 100) -> ProbeHandle:
@@ -118,8 +200,9 @@ class ProbingEngine:
 
     def install_flow(self, handle: ProbeHandle) -> None:
         """Install the probe flow (raises TableFullError when rejected)."""
-        self.channel.send_flow_mod(handle.flow_mod(FlowModCommand.ADD))
+        self.send_flow_mod(handle.flow_mod(FlowModCommand.ADD))
         self.flows.append(handle)
+        self.installs_completed += 1
         self._m_flow_mods.inc()
         self._m_installed.set(len(self.flows))
 
@@ -129,8 +212,23 @@ class ProbingEngine:
         return handle
 
     def remove_all_flows(self) -> None:
+        """Delete every installed probe flow (best effort under faults).
+
+        A DELETE whose retries give up is skipped rather than raised:
+        deletion is idempotent, and inference rounds must be able to
+        clean up even while the control plane is flaky.
+        """
         for handle in self.flows:
-            self.channel.send_flow_mod(handle.flow_mod(FlowModCommand.DELETE))
+            try:
+                self.send_flow_mod(handle.flow_mod(FlowModCommand.DELETE))
+            except RetryGiveUpError:
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        "probe.cleanup_skipped",
+                        category="probing",
+                        clock=self.clock,
+                        flow=handle.index,
+                    )
             self._m_flow_mods.inc()
         self.flows.clear()
         self._m_installed.set(0)
@@ -149,6 +247,7 @@ class ProbingEngine:
         ``retries`` times before giving up and returning the timeout.
         """
         timeout_ms = getattr(self.channel, "LOSS_TIMEOUT_MS", float("inf"))
+        self.rtt_measurements += 1
         rtt = self.send_probe_packet(handle)
         attempts = 0
         while rtt >= timeout_ms and attempts < retries:
@@ -156,6 +255,7 @@ class ProbingEngine:
             rtt = self.send_probe_packet(handle)
             attempts += 1
         if rtt >= timeout_ms:
+            self.rtt_timeouts += 1
             self._m_timeouts.inc()
             if self.tracer.enabled:
                 self.tracer.event(
@@ -187,7 +287,7 @@ class ProbingEngine:
         ) as span:
             start = self.now_ms
             for flow_mod in pattern.flow_mods:
-                self.channel.send_flow_mod(flow_mod)
+                self.send_flow_mod(flow_mod)
             self._m_flow_mods.inc(len(pattern.flow_mods))
             install_ms = self.now_ms - start
             rtts = []
@@ -214,6 +314,6 @@ class ProbingEngine:
         """Total virtual time (ms) to apply ``flow_mods`` in order."""
         start = self.now_ms
         for flow_mod in flow_mods:
-            self.channel.send_flow_mod(flow_mod)
+            self.send_flow_mod(flow_mod)
         self._m_flow_mods.inc(len(flow_mods))
         return self.now_ms - start

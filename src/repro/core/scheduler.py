@@ -19,20 +19,40 @@ Two extensions from the paper are implemented:
   when request B depends on request A on a *different* switch, B can be
   released before A completes provided B's estimated finish trails A's
   by a guard interval (weak consistency).
+
+**Fault tolerance.**  Every scheduler survives injected transient faults
+(:mod:`repro.faults`): a request whose ``issue`` raises a
+:class:`~repro.openflow.errors.TransientFaultError` is *deferred* — it
+is simply not marked done, so it stays in the ``RequestDag`` and
+reappears in a later independent set, where the batch is re-planned
+around it.  Disconnect faults carry a reconnect time which becomes the
+request's earliest retry instant, so retries never spin inside an
+outage window.  :class:`ScheduleResult` splits deadline misses into
+"missed due to fault" (the request itself was deferred at least once)
+versus "missed due to schedule".
+
+**Determinism.**  Scheduling consumes no wall clock and no randomness of
+its own: all timing flows from the switches' virtual clocks and any
+fault decisions from the injector's seeded streams, so a (DAG, executor,
+fault plan, seed) tuple replays byte-for-byte.
 """
 
 from __future__ import annotations
 
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.patterns import RewritePattern, TangoPatternDatabase
 from repro.core.requests import ReadySimulation, RequestDag, SwitchRequest
 from repro.obs.metrics import MetricsRegistry, NULL_METRICS
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.openflow.channel import ControlChannel
+from repro.openflow.errors import TransientFaultError
 from repro.openflow.messages import FlowModCommand
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import, avoids a package cycle
+    from repro.faults.injector import FaultInjector
 
 
 @dataclass
@@ -46,13 +66,23 @@ class IssueRecord:
 
 @dataclass
 class ScheduleResult:
-    """Outcome of scheduling one request DAG."""
+    """Outcome of scheduling one request DAG.
+
+    ``deadline_misses`` is the total;
+    ``deadline_misses_fault`` counts misses of requests that were
+    deferred by at least one injected transient fault, and
+    ``deadline_misses_schedule`` the remainder (pure scheduling misses).
+    """
 
     makespan_ms: float
     records: List[IssueRecord] = field(default_factory=list)
     rounds: int = 0
     pattern_choices: List[str] = field(default_factory=list)
     deadline_misses: int = 0
+    fault_retries: int = 0
+    faulted_request_ids: Set[int] = field(default_factory=set)
+    deadline_misses_fault: int = 0
+    deadline_misses_schedule: int = 0
 
     @property
     def total_requests(self) -> int:
@@ -74,9 +104,13 @@ class NetworkExecutor:
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
         trace_requests: bool = False,
+        fault_injector: Optional["FaultInjector"] = None,
     ) -> None:
         if not channels:
             raise ValueError("need at least one switch channel")
+        self.fault_injector = fault_injector
+        if fault_injector is not None:
+            channels = fault_injector.wrap_channels(channels)
         self.channels = dict(channels)
         self.epoch_ms = 0.0
         self.metrics = metrics if metrics is not None else NULL_METRICS
@@ -234,6 +268,11 @@ class BasicTangoScheduler:
         self._m_misses = self.metrics.counter(
             "scheduler.deadline_misses", scheduler=name
         )
+        self._m_fault_retries = self.metrics.counter(
+            "scheduler.fault_retries", scheduler=name
+        )
+        self._fault_holds: Dict[int, float] = {}
+        self._fault_attempts: Dict[int, int] = {}
 
     # -- telemetry -------------------------------------------------------------
     def _batch_estimate_ms(self, ordered: Sequence[SwitchRequest]) -> Optional[float]:
@@ -308,6 +347,110 @@ class BasicTangoScheduler:
         report.raise_on_errors()
         return report
 
+    # -- fault-tolerant issue path ---------------------------------------------
+    #: Upper bound on transient-fault deferrals for a single request,
+    #: guarding against a misconfigured injector (e.g. a disconnect
+    #: window the workload can never outlive).
+    MAX_FAULT_DEFERRALS = 64
+
+    def _begin_schedule(self, dag: RequestDag) -> ScheduleResult:
+        """Shared preamble: strict precheck, epoch reset, fault state."""
+        if self.strict:
+            self.precheck(dag)
+        self.executor.reset_epoch()
+        self._fault_holds = {}
+        self._fault_attempts = {}
+        return ScheduleResult(makespan_ms=0.0)
+
+    def _dep_finish(
+        self, dag: RequestDag, request: SwitchRequest, finish_times: Dict[int, float]
+    ) -> float:
+        """Latest finish among the request's completed dependencies.
+
+        Dependency-free requests anchor at the executor epoch so guard
+        and deadline arithmetic stay on the executor timeline.
+        """
+        return max(
+            (finish_times[p] for p in dag.predecessor_ids(request.request_id)),
+            default=self.executor.epoch_ms,
+        )
+
+    def _issue_or_defer(
+        self,
+        dag: RequestDag,
+        request: SwitchRequest,
+        not_before_ms: float,
+        finish_times: Dict[int, float],
+        result: ScheduleResult,
+    ) -> Optional[IssueRecord]:
+        """Issue one request; on a transient fault defer it instead.
+
+        A deferred request is *not* marked done: it stays in the DAG and
+        is re-planned as part of a later independent set.  Disconnect
+        faults record the reconnect instant as the request's earliest
+        retry time, honoured on the next attempt via ``not_before_ms``.
+        Returns the issue record, or ``None`` when deferred.
+        """
+        rid = request.request_id
+        hold = self._fault_holds.pop(rid, None)
+        if hold is not None:
+            not_before_ms = max(not_before_ms, hold)
+        try:
+            record = self.executor.issue(request, not_before_ms=not_before_ms)
+        except TransientFaultError as fault:
+            self._note_fault(request, fault, result)
+            return None
+        finish_times[rid] = record.finished_ms
+        result.records.append(record)
+        dag.mark_done(request)
+        return record
+
+    def _note_fault(
+        self, request: SwitchRequest, fault: TransientFaultError, result: ScheduleResult
+    ) -> None:
+        rid = request.request_id
+        attempts = self._fault_attempts.get(rid, 0) + 1
+        self._fault_attempts[rid] = attempts
+        if attempts > self.MAX_FAULT_DEFERRALS:
+            raise RuntimeError(
+                f"request {rid} deferred {attempts} times by injected faults; "
+                "giving up (check the fault plan's windows and probabilities)"
+            ) from fault
+        if fault.retry_at_ms is not None:
+            self._fault_holds[rid] = fault.retry_at_ms
+        result.fault_retries += 1
+        result.faulted_request_ids.add(rid)
+        self._m_fault_retries.inc()
+        if self.tracer.enabled:
+            self.tracer.event(
+                "scheduler.fault_deferred",
+                category="scheduler",
+                clock=self.executor.now_ms,
+                request_id=rid,
+                switch=request.location,
+                fault=type(fault).__name__,
+                attempts=attempts,
+                retry_at_ms=fault.retry_at_ms,
+            )
+
+    def _finalize_schedule(self, result: ScheduleResult, makespan: float) -> ScheduleResult:
+        """Shared epilogue: makespan and fault-attributed deadline misses."""
+        epoch = self.executor.epoch_ms
+        result.makespan_ms = makespan - epoch
+        result.deadline_misses = _count_deadline_misses(result.records, epoch)
+        result.deadline_misses_fault = _count_deadline_misses(
+            [
+                r
+                for r in result.records
+                if r.request.request_id in result.faulted_request_ids
+            ],
+            epoch,
+        )
+        result.deadline_misses_schedule = (
+            result.deadline_misses - result.deadline_misses_fault
+        )
+        return result
+
     def schedule(self, dag: RequestDag) -> ScheduleResult:
         """Issue every request in the DAG; returns timing results.
 
@@ -320,11 +463,11 @@ class BasicTangoScheduler:
         With ``strict=True`` (constructor knob) the DAG is statically
         verified first and scheduling aborts with
         :class:`~repro.analysis.DiagnosticError` on ERROR diagnostics.
+
+        Requests hit by injected transient faults are deferred and
+        re-planned in later rounds (see the module docstring).
         """
-        if self.strict:
-            self.precheck(dag)
-        self.executor.reset_epoch()
-        result = ScheduleResult(makespan_ms=0.0)
+        result = self._begin_schedule(dag)
         finish_times: Dict[int, float] = {}
         makespan = self.executor.epoch_ms
         while not dag.is_done():
@@ -337,29 +480,19 @@ class BasicTangoScheduler:
             batch_start = len(result.records)
             batch_start_ms = self.executor.now_ms() if self.tracer.enabled else 0.0
             for request in ordered:
-                dep_finish = max(
-                    (
-                        finish_times[p]
-                        for p in dag.predecessor_ids(request.request_id)
-                    ),
-                    default=self.executor.epoch_ms,
+                dep_finish = self._dep_finish(dag, request, finish_times)
+                record = self._issue_or_defer(
+                    dag, request, dep_finish, finish_times, result
                 )
-                record = self.executor.issue(request, not_before_ms=dep_finish)
-                finish_times[request.request_id] = record.finished_ms
-                result.records.append(record)
-                dag.mark_done(request)
-                makespan = max(makespan, record.finished_ms)
+                if record is not None:
+                    makespan = max(makespan, record.finished_ms)
             self._close_batch_span(
                 span, batch_start_ms, result.records[batch_start:]
             )
             self._m_batches.inc()
             self._m_requests.inc(len(ordered))
             result.rounds += 1
-        result.makespan_ms = makespan - self.executor.epoch_ms
-        result.deadline_misses = _count_deadline_misses(
-            result.records, self.executor.epoch_ms
-        )
-        return result
+        return self._finalize_schedule(result, makespan)
 
 
 def _count_deadline_misses(records: Sequence[IssueRecord], epoch_ms: float) -> int:
@@ -496,14 +629,13 @@ class PrefixTangoScheduler(BasicTangoScheduler):
         return best_cost, best_cut
 
     def schedule(self, dag: RequestDag) -> ScheduleResult:
-        if self.strict:
-            self.precheck(dag)
-        self.executor.reset_epoch()
-        result = ScheduleResult(makespan_ms=0.0)
+        result = self._begin_schedule(dag)
         finish_times: Dict[int, float] = {}
         makespan = self.executor.epoch_ms
         # One long-lived lookahead cursor, kept in sync with the issued
-        # requests via commit() -- no per-round O(V + E) rebuilds.
+        # requests via commit() -- no per-round O(V + E) rebuilds.  Only
+        # *successfully issued* requests are committed: a fault-deferred
+        # request stays pending in both the DAG and the cursor.
         sim = dag.simulation(dag._done)
         while not dag.is_done():
             independent = dag.independent_requests()
@@ -520,31 +652,23 @@ class PrefixTangoScheduler(BasicTangoScheduler):
                 span.set(ready=len(ordered), cut=len(issue_now))
             batch_start = len(result.records)
             batch_start_ms = self.executor.now_ms() if self.tracer.enabled else 0.0
+            issued: List[SwitchRequest] = []
             for request in issue_now:
-                dep_finish = max(
-                    (
-                        finish_times[p]
-                        for p in dag.predecessor_ids(request.request_id)
-                    ),
-                    default=self.executor.epoch_ms,
+                dep_finish = self._dep_finish(dag, request, finish_times)
+                record = self._issue_or_defer(
+                    dag, request, dep_finish, finish_times, result
                 )
-                record = self.executor.issue(request, not_before_ms=dep_finish)
-                finish_times[request.request_id] = record.finished_ms
-                result.records.append(record)
-                dag.mark_done(request)
-                makespan = max(makespan, record.finished_ms)
+                if record is not None:
+                    issued.append(request)
+                    makespan = max(makespan, record.finished_ms)
             self._close_batch_span(
                 span, batch_start_ms, result.records[batch_start:]
             )
             self._m_batches.inc()
             self._m_requests.inc(len(issue_now))
-            sim.commit(r.request_id for r in issue_now)
+            sim.commit(r.request_id for r in issued)
             result.rounds += 1
-        result.makespan_ms = makespan - self.executor.epoch_ms
-        result.deadline_misses = _count_deadline_misses(
-            result.records, self.executor.epoch_ms
-        )
-        return result
+        return self._finalize_schedule(result, makespan)
 
 
 class DeadlineAwareTangoScheduler(BasicTangoScheduler):
@@ -600,10 +724,7 @@ class DeadlineAwareTangoScheduler(BasicTangoScheduler):
         return urgent, relaxed
 
     def schedule(self, dag: RequestDag) -> ScheduleResult:
-        if self.strict:
-            self.precheck(dag)
-        self.executor.reset_epoch()
-        result = ScheduleResult(makespan_ms=0.0)
+        result = self._begin_schedule(dag)
         finish_times: Dict[int, float] = {}
         makespan = self.executor.epoch_ms
         while not dag.is_done():
@@ -620,29 +741,19 @@ class DeadlineAwareTangoScheduler(BasicTangoScheduler):
             batch_start = len(result.records)
             batch_start_ms = self.executor.now_ms() if self.tracer.enabled else 0.0
             for request in urgent + relaxed:
-                dep_finish = max(
-                    (
-                        finish_times[p]
-                        for p in dag.predecessor_ids(request.request_id)
-                    ),
-                    default=self.executor.epoch_ms,
+                dep_finish = self._dep_finish(dag, request, finish_times)
+                record = self._issue_or_defer(
+                    dag, request, dep_finish, finish_times, result
                 )
-                record = self.executor.issue(request, not_before_ms=dep_finish)
-                finish_times[request.request_id] = record.finished_ms
-                result.records.append(record)
-                dag.mark_done(request)
-                makespan = max(makespan, record.finished_ms)
+                if record is not None:
+                    makespan = max(makespan, record.finished_ms)
             self._close_batch_span(
                 span, batch_start_ms, result.records[batch_start:]
             )
             self._m_batches.inc()
             self._m_requests.inc(len(ordered))
             result.rounds += 1
-        result.makespan_ms = makespan - self.executor.epoch_ms
-        result.deadline_misses = _count_deadline_misses(
-            result.records, self.executor.epoch_ms
-        )
-        return result
+        return self._finalize_schedule(result, makespan)
 
 
 class ConcurrentTangoScheduler(BasicTangoScheduler):
@@ -684,10 +795,7 @@ class ConcurrentTangoScheduler(BasicTangoScheduler):
         return self.guard_ms
 
     def schedule(self, dag: RequestDag) -> ScheduleResult:
-        if self.strict:
-            self.precheck(dag)
-        self.executor.reset_epoch()
-        result = ScheduleResult(makespan_ms=0.0)
+        result = self._begin_schedule(dag)
         finish_times: Dict[int, float] = {}
         makespan = self.executor.epoch_ms
 
@@ -707,13 +815,10 @@ class ConcurrentTangoScheduler(BasicTangoScheduler):
                 # dependency-free requests anchor at the epoch -- not at
                 # absolute zero, which silently weakened the guard
                 # whenever the executor had already been used (epoch > 0).
-                dep_finish = max(
-                    (
-                        finish_times[p]
-                        for p in dag.predecessor_ids(request.request_id)
-                    ),
-                    default=self.executor.epoch_ms,
-                )
+                # On a fault-deferred retry the anchor is *recomputed*
+                # from finish_times, so a dependency that completed in an
+                # earlier round still projects its guard onto the retry.
+                dep_finish = self._dep_finish(dag, request, finish_times)
                 own_estimate = self.estimate(request)
                 # Weak consistency: start early as long as the estimated
                 # finish trails every dependency's finish by the guard.
@@ -721,19 +826,15 @@ class ConcurrentTangoScheduler(BasicTangoScheduler):
                     self.executor.switch_available_at(request.location),
                     dep_finish + self.guard_ms - own_estimate,
                 )
-                record = self.executor.issue(request, not_before_ms=earliest_start)
-                finish_times[request.request_id] = record.finished_ms
-                result.records.append(record)
-                dag.mark_done(request)
-                makespan = max(makespan, record.finished_ms)
+                record = self._issue_or_defer(
+                    dag, request, earliest_start, finish_times, result
+                )
+                if record is not None:
+                    makespan = max(makespan, record.finished_ms)
             self._close_batch_span(
                 span, batch_start_ms, result.records[batch_start:]
             )
             self._m_batches.inc()
             self._m_requests.inc(len(ordered))
             result.rounds += 1
-        result.makespan_ms = makespan - self.executor.epoch_ms
-        result.deadline_misses = _count_deadline_misses(
-            result.records, self.executor.epoch_ms
-        )
-        return result
+        return self._finalize_schedule(result, makespan)

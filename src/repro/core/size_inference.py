@@ -17,15 +17,25 @@ Three stages:
 
 The algorithm is asymptotically optimal: O(n) rule installs issued in
 O(log n) batches, and O(n) probe packets (Section 5.2).
+
+**Determinism and degradation.**  The probe draws only from the engine's
+seeded RNG and the virtual clock, so runs replay byte-for-byte — with or
+without injected faults (:mod:`repro.faults`).  When the engine has a
+retry policy and an install still gives up
+(:class:`~repro.faults.RetryGiveUpError`), the doubling round *resumes*
+with the next probe rule instead of crashing; the result's
+``confidence`` field reports the clean fraction of installs and RTT
+measurements (1.0 on a fault-free run).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.core.clustering import Cluster, assign_cluster, cluster_1d
 from repro.core.probing import ProbingEngine
+from repro.faults.retry import RetryGiveUpError
 from repro.openflow.errors import TableFullError
 
 
@@ -41,7 +51,14 @@ class LayerEstimate:
 
 @dataclass
 class SizeProbeResult:
-    """Outcome of one size-probing run."""
+    """Outcome of one size-probing run.
+
+    ``confidence`` is 1.0 on a clean run and degrades towards 0 with the
+    fraction of probe installs that gave up after retries
+    (``install_giveups``) and of RTT measurements that timed out — a
+    coarse but monotone signal that the estimates rest on fewer or
+    noisier observations than requested.
+    """
 
     total_rules_installed: int
     cache_full: bool
@@ -49,6 +66,8 @@ class SizeProbeResult:
     layers: List[LayerEstimate]
     rules_sent: int
     packets_sent: int
+    install_giveups: int = 0
+    confidence: float = 1.0
 
     @property
     def num_layers(self) -> int:
@@ -112,9 +131,18 @@ class SizeProber:
         self.packet_budget_factor = packet_budget_factor
 
     # -- stage 1 ----------------------------------------------------------------
-    def _fill(self) -> bool:
-        """Insert rules in doubling batches; True if the switch rejected."""
+    def _fill(self) -> Tuple[bool, int]:
+        """Insert rules in doubling batches.
+
+        Returns ``(cache_full, giveups)``: whether the switch rejected an
+        add (capacity reached) and how many installs were abandoned after
+        exhausting their retry budget.  A given-up install *resumes the
+        doubling round* with the next probe rule — the failed rule never
+        occupied a slot, so the fill's termination argument (each success
+        fills one slot; the switch rejects at capacity) is unchanged.
+        """
         cache_full = False
+        giveups = 0
         batch = self.initial_batch
         rounds = 0
         with self.engine.tracer.span(
@@ -129,6 +157,17 @@ class SizeProber:
                     except TableFullError:
                         cache_full = True
                         break
+                    except RetryGiveUpError:
+                        giveups += 1
+                        if giveups > self.max_rules:
+                            # Pathological plan (virtually every install
+                            # fails): stop filling, report what we have.
+                            span.set(fill_aborted=True)
+                            self.engine.metrics.counter(
+                                "infer.size.doubling_rounds"
+                            ).inc(rounds)
+                            return False, giveups
+                        continue
                     # Traffic upon insertion keeps every cache slot occupied.
                     self.engine.send_probe_packet(handle)
                 batch *= 2
@@ -137,9 +176,10 @@ class SizeProber:
                 doubling_rounds=rounds,
                 rules_installed=len(self.engine.flows),
                 cache_full=cache_full,
+                install_giveups=giveups,
             )
         self.engine.metrics.counter("infer.size.doubling_rounds").inc(rounds)
-        return cache_full
+        return cache_full, giveups
 
     # -- stage 2 ----------------------------------------------------------------
     def _cluster(self) -> List[Cluster]:
@@ -207,6 +247,18 @@ class SizeProber:
             total_hits=total_hits,
         )
 
+    # -- confidence -------------------------------------------------------------
+    @staticmethod
+    def _confidence(
+        m: int, giveups: int, rtt_measured: int, rtt_timed_out: int
+    ) -> float:
+        """Clean fraction of installs times clean fraction of measurements."""
+        install_ok = m / (m + giveups) if (m + giveups) else 1.0
+        measure_ok = (
+            (rtt_measured - rtt_timed_out) / rtt_measured if rtt_measured else 1.0
+        )
+        return install_ok * measure_ok
+
     # -- public API ------------------------------------------------------------
     def probe(self) -> SizeProbeResult:
         """Run all three stages and return the per-layer size estimates."""
@@ -216,7 +268,9 @@ class SizeProber:
             clock=self.engine.clock,
             switch=self.engine.switch_name,
         )
-        cache_full = self._fill()
+        rtt_measured_before = self.engine.rtt_measurements
+        rtt_timeouts_before = self.engine.rtt_timeouts
+        cache_full, giveups = self._fill()
         m = len(self.engine.flows)
         if m == 0:
             root.set(rules_installed=0, layers=0).close()
@@ -227,6 +281,8 @@ class SizeProber:
                 layers=[],
                 rules_sent=0,
                 packets_sent=0,
+                install_giveups=giveups,
+                confidence=self._confidence(0, giveups, 0, 0),
             )
         clusters = self._cluster()
 
@@ -269,12 +325,20 @@ class SizeProber:
             layers=layers,
             rules_sent=m + (1 if cache_full else 0),
             packets_sent=m * 2 + sum(l.total_hits + l.sample_trials for l in layers),
+            install_giveups=giveups,
+            confidence=self._confidence(
+                m,
+                giveups,
+                self.engine.rtt_measurements - rtt_measured_before,
+                self.engine.rtt_timeouts - rtt_timeouts_before,
+            ),
         )
         root.set(
             rules_installed=m,
             layers=len(layers),
             packets_sent=result.packets_sent,
             cache_full=cache_full,
+            confidence=round(result.confidence, 6),
         ).close()
         self.engine.scores.put(
             self.engine.switch_name,

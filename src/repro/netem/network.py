@@ -142,18 +142,26 @@ class EmulatedNetwork:
         return installed
 
     def executor(
-        self, metrics=None, tracer=None, trace_requests: bool = False
+        self,
+        metrics=None,
+        tracer=None,
+        trace_requests: bool = False,
+        fault_injector=None,
     ) -> NetworkExecutor:
         """A network executor over every switch in the topology.
 
         Telemetry arguments are forwarded to
-        :class:`~repro.core.scheduler.NetworkExecutor` unchanged.
+        :class:`~repro.core.scheduler.NetworkExecutor` unchanged.  With a
+        ``fault_injector`` (:class:`repro.faults.FaultInjector`), the
+        executor sees fault-wrapped channels while the network's own
+        ``channels`` stay bare for untimed setup traffic.
         """
         return NetworkExecutor(
             self.channels,
             metrics=metrics,
             tracer=tracer,
             trace_requests=trace_requests,
+            fault_injector=fault_injector,
         )
 
     def reset_rules(self) -> None:

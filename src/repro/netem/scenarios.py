@@ -10,6 +10,12 @@ Reproduces the paper's Section 7.2 setups:
   and modifies flows.  Two forms are provided: a distribution-controlled
   random mix (the hardware-testbed TE1/TE2 and Figure 11 scenarios) and
   a max-min-fair B4 allocation diff (the Mininet scenario, Figure 12).
+
+It also hosts the :data:`FAULT_SCENARIOS` catalogue: named, deterministic
+:class:`~repro.faults.FaultPlan` presets (lossy control channel, transient
+rejects, stalls, a mid-run disconnect, and their combination) that the
+``tango-probe faults`` CLI and the faulted bench case run against these
+network scenarios.
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.requests import RequestDag, SwitchRequest
+from repro.faults.plan import DisconnectWindow, FaultPlan, StallWindow
 from repro.netem.consistency import (
     add_forward_path_dependencies,
     add_reverse_path_dependencies,
@@ -338,3 +345,86 @@ class TrafficEngineeringScenario:
                     result.count(request)
                 add_reverse_path_dependencies(result.dag, chain)
         return result
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """A named, parameter-free fault preset.
+
+    ``plan(seed)`` expands the preset into a concrete, deterministic
+    :class:`~repro.faults.FaultPlan`; window fields apply to every
+    switch (``switch=None``), so the same scenario works against any
+    topology.  Probabilities are per message; window times are on the
+    simulated clock, relative to the executor epoch.
+    """
+
+    name: str
+    description: str
+    loss_probability: float = 0.0
+    reject_probability: float = 0.0
+    probe_loss_probability: float = 0.0
+    #: (start_ms, duration_ms, extra_ms) or None.
+    stall: Optional[Tuple[float, float, float]] = None
+    #: (start_ms, reconnect_at_ms) or None.
+    disconnect: Optional[Tuple[float, float]] = None
+
+    def plan(self, seed: int = 0) -> FaultPlan:
+        """The concrete fault plan for this scenario under ``seed``."""
+        stalls: Tuple[StallWindow, ...] = ()
+        if self.stall is not None:
+            start, duration, extra = self.stall
+            stalls = (StallWindow(start_ms=start, duration_ms=duration, extra_ms=extra),)
+        disconnects: Tuple[DisconnectWindow, ...] = ()
+        if self.disconnect is not None:
+            start, reconnect = self.disconnect
+            disconnects = (DisconnectWindow(start_ms=start, reconnect_at_ms=reconnect),)
+        return FaultPlan(
+            seed=seed,
+            loss_probability=self.loss_probability,
+            reject_probability=self.reject_probability,
+            probe_loss_probability=self.probe_loss_probability,
+            stalls=stalls,
+            disconnects=disconnects,
+        )
+
+
+#: Named fault presets for the CLI, CI smoke job, and faulted benchmarks.
+FAULT_SCENARIOS: Dict[str, FaultScenario] = {
+    scenario.name: scenario
+    for scenario in (
+        FaultScenario(
+            name="none",
+            description="No faults (bit-identical to running without an injector).",
+        ),
+        FaultScenario(
+            name="lossy",
+            description="10% control-message loss, 5% probe-reply loss.",
+            loss_probability=0.10,
+            probe_loss_probability=0.05,
+        ),
+        FaultScenario(
+            name="reject",
+            description="5% transient flow_mod rejections by the switch agent.",
+            reject_probability=0.05,
+        ),
+        FaultScenario(
+            name="stall",
+            description="Every switch stalls +2 ms per op during [10 ms, 60 ms).",
+            stall=(10.0, 50.0, 2.0),
+        ),
+        FaultScenario(
+            name="disconnect",
+            description="All control connections drop during [20 ms, 80 ms).",
+            disconnect=(20.0, 80.0),
+        ),
+        FaultScenario(
+            name="chaos",
+            description=(
+                "10% control loss plus one mid-run disconnect [30 ms, 90 ms) "
+                "(the acceptance scenario)."
+            ),
+            loss_probability=0.10,
+            disconnect=(30.0, 90.0),
+        ),
+    )
+}

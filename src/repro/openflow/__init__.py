@@ -16,6 +16,10 @@ from repro.openflow.errors import (
     TableFullError,
     BadMatchError,
     FlowNotFoundError,
+    TransientFaultError,
+    ControlMessageLostError,
+    FlowModRejectedError,
+    SwitchDisconnectedError,
 )
 from repro.openflow.match import Match, MatchKind
 from repro.openflow.messages import (
@@ -39,6 +43,10 @@ __all__ = [
     "TableFullError",
     "BadMatchError",
     "FlowNotFoundError",
+    "TransientFaultError",
+    "ControlMessageLostError",
+    "FlowModRejectedError",
+    "SwitchDisconnectedError",
     "Match",
     "MatchKind",
     "FlowMod",

@@ -7,6 +7,8 @@ rejection as the signal that the total flow-table capacity was reached.
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class OpenFlowError(Exception):
     """Base class for all simulated OpenFlow protocol errors."""
@@ -26,3 +28,47 @@ class BadMatchError(OpenFlowError):
 
 class FlowNotFoundError(OpenFlowError):
     """Raised when MODIFY/DELETE_STRICT refers to a non-existent flow."""
+
+
+class TransientFaultError(OpenFlowError):
+    """Base class for injected faults that are safe to retry.
+
+    Unlike :class:`TableFullError` (a *real* switch answer Algorithm 1
+    depends on), transient faults model the control channel or switch
+    misbehaving: the same operation may succeed if re-sent later.
+    ``repro.faults.RetryPolicy`` retries exactly this family and nothing
+    else.
+    """
+
+    def __init__(self, message: str, retry_at_ms: Optional[float] = None) -> None:
+        super().__init__(message)
+        #: Earliest simulated time at which a retry can possibly succeed,
+        #: or ``None`` when an immediate retry is allowed.
+        self.retry_at_ms = retry_at_ms
+
+
+class ControlMessageLostError(TransientFaultError):
+    """An injected control-channel loss: the flow_mod never reached the switch."""
+
+    def __init__(self, kind: str = "flow_mod") -> None:
+        super().__init__(f"control message lost in transit ({kind})")
+        self.kind = kind
+
+
+class FlowModRejectedError(TransientFaultError):
+    """An injected transient flow_mod rejection (e.g. switch agent busy)."""
+
+    def __init__(self) -> None:
+        super().__init__("flow_mod transiently rejected by switch agent")
+
+
+class SwitchDisconnectedError(TransientFaultError):
+    """The control connection to the switch is down until ``retry_at_ms``."""
+
+    def __init__(self, switch: str, reconnect_at_ms: float) -> None:
+        super().__init__(
+            f"switch {switch!r} disconnected (reconnects at {reconnect_at_ms:.3f} ms)",
+            retry_at_ms=reconnect_at_ms,
+        )
+        self.switch = switch
+        self.reconnect_at_ms = reconnect_at_ms

@@ -29,6 +29,11 @@ Cases (``n`` is the suite size knob):
 * ``prefix_lookahead``   -- Prefix scheduler (depth 2) on the two-switch
   unlock workload; trajectory-only (the pre-PR frozenset-copying planner
   is the regression this guards against, not a runnable arm).
+* ``faulted_schedule``   -- the layered workload under a seeded fault
+  plan (5% control loss + one early disconnect window); trajectory-only.
+  Gates the cost of fault-deferral bookkeeping: re-enqueued requests
+  revisit DAG edges, so a fault-handling change that loops instead of
+  deferring shows up as an op-count blowup.
 """
 
 from __future__ import annotations
@@ -38,6 +43,12 @@ from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.scheduler import BasicTangoScheduler, PrefixTangoScheduler
+from repro.faults import (
+    DisconnectWindow,
+    FaultInjector,
+    FaultPlan,
+    verify_noop_injection,
+)
 from repro.obs.metrics import MetricsRegistry
 from repro.perf.reference import ReferenceBasicTangoScheduler, SortedListShiftModel
 from repro.perf.workloads import (
@@ -204,11 +215,45 @@ def bench_prefix_lookahead(n: int, with_reference: bool = True) -> BenchRecord:
     return record
 
 
+#: The faulted case's plan: enough churn to exercise deferral paths at
+#: every suite size, few enough faults that rounds stay bounded.
+FAULTED_PLAN = FaultPlan(
+    seed=97,
+    loss_probability=0.05,
+    disconnects=(DisconnectWindow(start_ms=5.0, reconnect_at_ms=25.0),),
+)
+
+
+def bench_faulted_schedule(n: int, with_reference: bool = True) -> BenchRecord:
+    del with_reference  # trajectory-only; faults have no pre-PR arm
+    dag = layered_dag(n)
+    dag.ops.clear()
+    registry = MetricsRegistry()
+    injector = FaultInjector(FAULTED_PLAN)
+    scheduler = BasicTangoScheduler(
+        fast_executor(fault_injector=injector), metrics=registry
+    )
+    wall_ms, result = _timed(lambda: scheduler.schedule(dag))
+    record = BenchRecord(
+        case="faulted_schedule", n=n, wall_ms=wall_ms, ops=dag.ops.total()
+    )
+    record.detail = {
+        "makespan_ms": result.makespan_ms,
+        "rounds": result.rounds,
+        "fault_retries": result.fault_retries,
+        "faulted_requests": len(result.faulted_request_ids),
+        "injected": injector.injection_counts(),
+        "attribution": registry.snapshot(),
+    }
+    return record
+
+
 _CASES = (
     bench_chain_schedule,
     bench_layered_schedule,
     bench_descending_shifts,
     bench_prefix_lookahead,
+    bench_faulted_schedule,
 )
 
 
@@ -256,6 +301,9 @@ def run_suite(
     # Telemetry must be free: a tracer/metrics attach that altered the
     # deterministic op counts would also poison the regression gate below.
     verify_noop_instrumentation()
+    # So must a zero-fault injector: wrapping channels with an empty
+    # FaultPlan may not change a single schedule bit.
+    verify_noop_injection()
     records: List[BenchRecord] = []
     seen = set()
     for n in sizes:

@@ -26,8 +26,15 @@ def _match(index: int) -> Match:
     return Match(eth_type=0x0800, ip_dst=IpPrefix(index & 0xFFFFFFFF, 32))
 
 
-def fast_executor(*locations: str, seed: int = 1) -> NetworkExecutor:
-    """Unbounded, jitter-free switches with flat per-op costs."""
+def fast_executor(
+    *locations: str, seed: int = 1, fault_injector=None
+) -> NetworkExecutor:
+    """Unbounded, jitter-free switches with flat per-op costs.
+
+    With a ``fault_injector`` (:class:`repro.faults.FaultInjector`), the
+    channels are wrapped so the injector's seeded plan applies — used by
+    the faulted bench case and the no-op injection check.
+    """
     channels = {}
     for offset, location in enumerate(locations or ("sw",)):
         switch = SimulatedSwitch(
@@ -47,7 +54,7 @@ def fast_executor(*locations: str, seed: int = 1) -> NetworkExecutor:
             seed=seed + offset,
         )
         channels[location] = ControlChannel(switch, rtt=ConstantLatency(0.0))
-    return NetworkExecutor(channels)
+    return NetworkExecutor(channels, fault_injector=fault_injector)
 
 
 def chain_dag(n: int, location: str = "sw") -> RequestDag:

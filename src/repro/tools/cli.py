@@ -95,6 +95,46 @@ def _build_parser() -> argparse.ArgumentParser:
     from repro.perf.cli import add_bench_arguments
 
     add_bench_arguments(bench)
+
+    from repro.netem.scenarios import FAULT_SCENARIOS
+
+    faults = sub.add_parser(
+        "faults",
+        help="run inference + scheduling under a named fault scenario",
+    )
+    faults.add_argument(
+        "--scenario",
+        choices=sorted(FAULT_SCENARIOS),
+        default="chaos",
+        help="fault preset from repro.netem.scenarios.FAULT_SCENARIOS",
+    )
+    faults.add_argument(
+        "--profile",
+        choices=sorted(VENDOR_PROFILES),
+        default="switch2",
+        help="vendor profile for the faulted size probe",
+    )
+    faults.add_argument("--seed", type=int, default=0, help="fault-plan and probe seed")
+    faults.add_argument(
+        "--flows", type=int, default=60, help="testbed flow count for the LF schedule"
+    )
+    faults.add_argument(
+        "--verify-determinism",
+        action="store_true",
+        help="run the whole scenario twice and require identical "
+        "size estimates and schedules",
+    )
+    faults.add_argument(
+        "--verify-noop",
+        action="store_true",
+        help="also assert a zero-fault injector is bit-identical to none",
+    )
+    faults.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="record a telemetry trace; writes PATH.jsonl, "
+        "PATH.chrome.json, and PATH.prom",
+    )
     return parser
 
 
@@ -257,12 +297,137 @@ def _run_schedule(args, out) -> int:
     return 0
 
 
+def _run_faults(args, out) -> int:
+    from repro.core.scheduler import BasicTangoScheduler
+    from repro.faults import FaultInjector, RetryPolicy, verify_noop_injection
+    from repro.netem.network import EmulatedNetwork
+    from repro.netem.scenarios import FAULT_SCENARIOS, LinkFailureScenario
+    from repro.netem.topology import triangle_topology
+    from repro.sim.rng import SeededRng
+
+    scenario = FAULT_SCENARIOS[args.scenario]
+    plan = scenario.plan(args.seed)
+    print(
+        f"fault scenario '{scenario.name}' (seed {args.seed}): "
+        f"{scenario.description}",
+        file=out,
+    )
+
+    if args.verify_noop:
+        verify_noop_injection()
+        print(
+            "noop check ok: zero-fault injector is bit-identical to no injector",
+            file=out,
+        )
+
+    tracer, metrics = _make_telemetry(args)
+
+    def run_once():
+        # Faulted size inference (Algorithm 1 in degraded mode).
+        probe_injector = FaultInjector(plan)
+        engine = SwitchInferenceEngine(
+            VENDOR_PROFILES[args.profile],
+            seed=args.seed,
+            fault_injector=probe_injector,
+            retry_policy=RetryPolicy(),
+            tracer=tracer,
+            metrics=metrics,
+        )
+        size = engine.infer_sizes()
+
+        # Faulted link-failure schedule on the triangle testbed.
+        network = EmulatedNetwork(
+            triangle_topology(),
+            default_profile=VENDOR_PROFILES["switch1"],
+            profiles={"s3": VENDOR_PROFILES["switch3"]},
+            seed=args.seed,
+        )
+        rng = SeededRng(args.seed).child("cli-flows")
+        for _ in range(args.flows):
+            network.new_flow("s1", "s2", priority=rng.randint(1, 2000))
+        network.preinstall_flow_rules()
+        dag_result = LinkFailureScenario(network, ("s1", "s2")).build_dag()
+        sched_injector = FaultInjector(plan)
+        executor = network.executor(
+            metrics=metrics, tracer=tracer, fault_injector=sched_injector
+        )
+        scheduler = BasicTangoScheduler(executor, tracer=tracer, metrics=metrics)
+        outcome = scheduler.schedule(dag_result.dag)
+        timeline = tuple(
+            (r.request.request_id, r.started_ms, r.finished_ms)
+            for r in outcome.records
+        )
+        signature = (
+            tuple(layer.estimated_size for layer in size.layers),
+            outcome.makespan_ms,
+            outcome.rounds,
+            timeline,
+        )
+        return size, outcome, probe_injector, sched_injector, signature
+
+    size, outcome, probe_injector, sched_injector, signature = run_once()
+
+    sizes = ", ".join(
+        "unbounded" if layer.estimated_size is None else str(layer.estimated_size)
+        for layer in size.layers
+    )
+    print(f"size probe [{args.profile}]:", file=out)
+    print(f"  layer sizes      : {sizes}", file=out)
+    print(f"  install giveups  : {size.install_giveups}", file=out)
+    print(f"  confidence       : {size.confidence:.4f}", file=out)
+    probe_counts = probe_injector.injection_counts()
+    print(
+        "  injected         : "
+        + ", ".join(f"{k}={v}" for k, v in sorted(probe_counts.items())),
+        file=out,
+    )
+    print(f"schedule lf ({args.flows} flows):", file=out)
+    print(f"  makespan         : {outcome.makespan_ms:.2f} ms", file=out)
+    print(f"  rounds           : {outcome.rounds}", file=out)
+    print(
+        f"  fault retries    : {outcome.fault_retries} "
+        f"({len(outcome.faulted_request_ids)} requests deferred)",
+        file=out,
+    )
+    print(
+        f"  deadline misses  : {outcome.deadline_misses} "
+        f"(fault={outcome.deadline_misses_fault}, "
+        f"schedule={outcome.deadline_misses_schedule})",
+        file=out,
+    )
+    sched_counts = sched_injector.injection_counts()
+    print(
+        "  injected         : "
+        + ", ".join(f"{k}={v}" for k, v in sorted(sched_counts.items())),
+        file=out,
+    )
+
+    if args.verify_determinism:
+        _, _, _, _, second = run_once()
+        if second != signature:
+            print(
+                "determinism FAILED: two same-seed runs diverged", file=out
+            )
+            return 2
+        print(
+            "determinism ok: two same-seed runs produced identical "
+            "size estimates and schedules",
+            file=out,
+        )
+
+    _write_trace_outputs(args, tracer, metrics, out)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     out = out if out is not None else sys.stdout
     args = _build_parser().parse_args(argv)
 
     if args.command == "schedule":
         return _run_schedule(args, out)
+
+    if args.command == "faults":
+        return _run_faults(args, out)
 
     if args.command == "bench":
         from repro.perf.cli import run_bench

@@ -158,3 +158,46 @@ def test_main_exits_nonzero_on_violation(tmp_path):
 def test_lint_reports_file_and_line_location():
     (code,) = lint_source("x = 1\nimport random\n", "apps/demo.py").diagnostics
     assert code.location == "apps/demo.py:2"
+
+
+# -- TNG035: swallowed exceptions ---------------------------------------------
+def test_bare_except_swallow_is_flagged():
+    assert _codes("try:\n    f()\nexcept:\n    pass\n") == ["TNG035"]
+
+
+def test_broad_except_swallow_is_flagged():
+    assert _codes("try:\n    f()\nexcept Exception:\n    log()\n") == ["TNG035"]
+    assert _codes("try:\n    f()\nexcept BaseException as e:\n    note(e)\n") == [
+        "TNG035"
+    ]
+
+
+def test_broad_except_in_tuple_is_flagged():
+    source = "try:\n    f()\nexcept (ValueError, Exception):\n    pass\n"
+    assert _codes(source) == ["TNG035"]
+
+
+def test_broad_except_that_reraises_is_fine():
+    source = "try:\n    f()\nexcept Exception:\n    cleanup()\n    raise\n"
+    assert _codes(source) == []
+
+
+def test_broad_except_raising_other_exception_is_fine():
+    source = "try:\n    f()\nexcept Exception as e:\n    raise RuntimeError(str(e))\n"
+    assert _codes(source) == []
+
+
+def test_narrow_except_swallow_is_fine():
+    source = (
+        "try:\n    f()\nexcept RetryGiveUpError:\n    pass\n"
+        "try:\n    g()\nexcept (ValueError, KeyError):\n    pass\n"
+    )
+    assert _codes(source) == []
+
+
+def test_nested_raise_inside_conditional_counts():
+    source = (
+        "try:\n    f()\nexcept Exception as e:\n"
+        "    if fatal(e):\n        raise\n    else:\n        log(e)\n"
+    )
+    assert _codes(source) == []

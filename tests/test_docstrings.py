@@ -1,0 +1,37 @@
+"""Determinism documentation: fault/probing modules must carry docstrings.
+
+The fault-injection subsystem's headline guarantee (byte-reproducible
+runs, zero-cost no-op wrapping) lives in module docstrings; this check
+keeps them from silently disappearing in refactors.
+"""
+
+import importlib
+
+import pytest
+
+MODULES = [
+    "repro.faults",
+    "repro.faults.plan",
+    "repro.faults.injector",
+    "repro.faults.retry",
+    "repro.core.scheduler",
+    "repro.core.probing",
+    "repro.core.size_inference",
+    "repro.core.policy_inference",
+    "repro.core.inference",
+    "repro.core.latency_curves",
+]
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_module_docstring_present(name):
+    module = importlib.import_module(name)
+    assert module.__doc__ and module.__doc__.strip(), f"{name} lacks a docstring"
+
+
+@pytest.mark.parametrize(
+    "name", ["repro.faults.plan", "repro.faults.injector", "repro.faults.retry"]
+)
+def test_fault_docstrings_state_determinism(name):
+    module = importlib.import_module(name)
+    assert "determinis" in module.__doc__.lower() or "byte" in module.__doc__.lower()

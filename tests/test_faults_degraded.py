@@ -1,0 +1,174 @@
+"""Degraded-mode inference under injected faults, incl. property tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.inference import SwitchInferenceEngine
+from repro.core.probing import ProbingEngine
+from repro.core.scheduler import BasicTangoScheduler
+from repro.core.size_inference import SizeProber
+from repro.faults import (
+    DisconnectWindow,
+    FaultInjector,
+    FaultPlan,
+    RetryGiveUpError,
+    RetryPolicy,
+)
+from repro.openflow.channel import ControlChannel
+from repro.perf.workloads import fast_executor, layered_dag
+from repro.sim.rng import SeededRng
+from repro.switches.profiles import VENDOR_PROFILES, make_cache_test_profile
+from repro.tables.policies import FIFO
+
+
+def _engine(profile, plan=None, seed=1, policy=RetryPolicy()):
+    switch = profile.build(seed=seed)
+    channel = ControlChannel(switch)
+    if plan is not None:
+        channel = FaultInjector(plan).wrap_channel(channel)
+    return ProbingEngine(
+        channel, rng=SeededRng(seed).child("size"), retry_policy=policy
+    )
+
+
+BOUNDED = make_cache_test_profile(FIFO, (64,), layer_means_ms=(0.5,))
+
+
+# -- retry integration in the probing engine ----------------------------------
+def test_install_retries_through_losses():
+    plan = FaultPlan(seed=3, loss_probability=0.3)
+    engine = _engine(BOUNDED, plan)
+    handle = engine.new_handle(priority=10)
+    engine.install_flow(handle)
+    assert engine.installs_completed == 1
+    assert engine.fault_giveups == 0
+
+
+def test_retry_gives_up_after_max_attempts():
+    plan = FaultPlan(seed=1, loss_probability=0.95)
+    engine = _engine(BOUNDED, plan, policy=RetryPolicy(max_attempts=3))
+    with pytest.raises(RetryGiveUpError) as info:
+        engine.install_flow(engine.new_handle(priority=10))
+    assert info.value.attempts == 3
+    assert engine.fault_giveups == 1
+    assert engine.fault_retries == 3
+
+
+def test_no_retry_policy_propagates_raw_fault():
+    from repro.openflow.errors import TransientFaultError
+
+    plan = FaultPlan(seed=1, loss_probability=0.95)
+    engine = _engine(BOUNDED, plan, policy=None)
+    with pytest.raises(TransientFaultError):
+        engine.install_flow(engine.new_handle(priority=10))
+
+
+def test_retry_waits_out_disconnect_windows():
+    plan = FaultPlan(disconnects=(DisconnectWindow(0.0, 25.0),))
+    engine = _engine(BOUNDED, plan)
+    engine.install_flow(engine.new_handle(priority=10))
+    assert engine.now_ms >= 25.0  # the retry held until reconnect
+    assert engine.fault_retries == 1
+
+
+def test_remove_all_flows_is_best_effort_under_faults():
+    plan = FaultPlan(seed=7, loss_probability=0.6)
+    engine = _engine(BOUNDED, plan, policy=RetryPolicy(max_attempts=2))
+    for i in range(5):
+        try:
+            engine.install_flow(engine.new_handle(priority=i + 1))
+        except RetryGiveUpError:
+            pass
+    engine.remove_all_flows()  # must not raise even when DELETEs give up
+    assert engine.flows == []
+
+
+# -- degraded size inference --------------------------------------------------
+def test_size_probe_survives_chaos_with_exact_estimate():
+    plan = FaultPlan(
+        seed=11,
+        loss_probability=0.1,
+        disconnects=(DisconnectWindow(20.0, 60.0),),
+    )
+    result = SizeProber(_engine(BOUNDED, plan), max_rules=256).probe()
+    assert result.layers[0].estimated_size == 64
+    assert 0.0 < result.confidence <= 1.0
+
+
+def test_size_probe_confidence_degrades_with_giveups():
+    clean = SizeProber(_engine(BOUNDED), max_rules=256).probe()
+    assert clean.confidence == 1.0
+    assert clean.install_giveups == 0
+
+    noisy_plan = FaultPlan(seed=4, loss_probability=0.45)
+    noisy = SizeProber(
+        _engine(BOUNDED, noisy_plan, policy=RetryPolicy(max_attempts=2)),
+        max_rules=256,
+    ).probe()
+    assert noisy.install_giveups > 0
+    assert noisy.confidence < 1.0
+
+
+def test_inference_engine_end_to_end_under_faults_is_reproducible():
+    plan = FaultPlan(seed=11, loss_probability=0.1)
+
+    def run():
+        engine = SwitchInferenceEngine(
+            VENDOR_PROFILES["switch3"],
+            seed=11,
+            size_probe_max_rules=1024,
+            fault_injector=FaultInjector(plan),
+            retry_policy=RetryPolicy(),
+        )
+        result = engine.infer_sizes()
+        return (
+            tuple(layer.estimated_size for layer in result.layers),
+            result.install_giveups,
+            result.confidence,
+        )
+
+    first = run()
+    assert first == run()
+    assert first[0] == (767,)  # rejection still reveals the exact size
+
+
+# -- properties ---------------------------------------------------------------
+@settings(max_examples=12, deadline=None)
+@given(
+    loss=st.floats(min_value=0.0, max_value=0.5),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_size_inference_terminates_exact_under_partial_loss(loss, seed):
+    """Property: any loss probability < 1 still lets Algorithm 1
+    terminate, and on a single-layer bounded switch the rejection signal
+    keeps n-hat exact regardless of how many probes were lost."""
+    plan = FaultPlan(seed=seed, loss_probability=loss)
+    result = SizeProber(_engine(BOUNDED, plan, seed=seed), max_rules=256).probe()
+    assert result.layers[0].estimated_size == 64
+    assert 0.0 < result.confidence <= 1.0
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    n=st.integers(min_value=10, max_value=150),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_zero_fault_plan_is_byte_identical_property(n, seed):
+    """Property: wrapping with any no-op plan never changes a schedule."""
+
+    def signature(injector):
+        executor = fast_executor("sw", seed=3, fault_injector=injector)
+        result = BasicTangoScheduler(executor).schedule(layered_dag(n))
+        return (
+            result.makespan_ms,
+            result.rounds,
+            tuple(result.pattern_choices),
+            tuple(
+                (r.request.request_id, r.started_ms, r.finished_ms)
+                for r in result.records
+            ),
+        )
+
+    bare = signature(None)
+    wrapped = signature(FaultInjector(FaultPlan(seed=seed)))
+    assert bare == wrapped

@@ -179,3 +179,29 @@ def test_te_matrices_dag_schedulable():
     result = scenario.from_traffic_matrices(before, after)
     out = BasicTangoScheduler(network.executor()).schedule(result.dag)
     assert out.total_requests == result.total
+
+
+# -- fault-scenario catalogue -------------------------------------------------
+def test_fault_scenarios_catalogue_builds_valid_plans():
+    from repro.netem.scenarios import FAULT_SCENARIOS
+
+    assert {"none", "lossy", "reject", "stall", "disconnect", "chaos"} <= set(
+        FAULT_SCENARIOS
+    )
+    for name, scenario in sorted(FAULT_SCENARIOS.items()):
+        plan = scenario.plan(seed=5)
+        assert plan.seed == 5
+        assert scenario.description
+        if name == "none":
+            assert plan.is_noop()
+        else:
+            assert not plan.is_noop()
+
+
+def test_chaos_scenario_matches_acceptance_shape():
+    from repro.netem.scenarios import FAULT_SCENARIOS
+
+    plan = FAULT_SCENARIOS["chaos"].plan()
+    assert plan.loss_probability == 0.10
+    assert len(plan.disconnects) == 1
+    assert plan.disconnects[0].switch is None  # applies to every switch

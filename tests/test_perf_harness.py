@@ -96,6 +96,7 @@ def test_run_suite_quick_sizes_and_keys():
         "layered_schedule:50",
         "descending_shifts:50",
         "prefix_lookahead:50",
+        "faulted_schedule:50",
     ]
 
 
@@ -132,7 +133,7 @@ def test_report_document_shape():
     report = records_to_report(records, [], quick=True, baseline_path=None)
     assert report["ok"] is True
     assert report["suite"] == "scheduler-hot-paths"
-    assert len(report["results"]) == 4
+    assert len(report["results"]) == 5
     assert {"case", "n", "wall_ms", "ops"} <= set(report["results"][0])
 
 
@@ -252,3 +253,21 @@ def test_verify_noop_instrumentation_passes():
     assert payload["bare_ops"] == payload["traced_ops"] > 0
     assert payload["signatures_equal"] is True
     assert payload["trace_events"] > 0
+
+
+def test_faulted_schedule_case_is_deterministic_and_counts_faults():
+    from repro.perf.harness import bench_faulted_schedule
+
+    first = bench_faulted_schedule(300)
+    second = bench_faulted_schedule(300)
+    assert first.ops == second.ops > 0
+    assert first.detail["makespan_ms"] == second.detail["makespan_ms"]
+    assert first.detail["fault_retries"] == second.detail["fault_retries"] > 0
+    assert first.detail["injected"]["disconnects"] > 0
+
+
+def test_run_suite_includes_faulted_case():
+    from repro.perf.harness import run_suite
+
+    records = run_suite(sizes=[300], with_reference=False)
+    assert any(record.case == "faulted_schedule" for record in records)

@@ -146,3 +146,48 @@ def test_schedule_trace_is_deterministic(tmp_path):
         )
         outputs.append(open(base + ".jsonl").read())
     assert outputs[0] == outputs[1]
+
+
+# -- faults subcommand --------------------------------------------------------
+def test_faults_subcommand_chaos_end_to_end():
+    out = io.StringIO()
+    assert (
+        main(
+            [
+                "faults",
+                "--scenario",
+                "chaos",
+                "--seed",
+                "3",
+                "--flows",
+                "20",
+                "--verify-determinism",
+            ],
+            out=out,
+        )
+        == 0
+    )
+    text = out.getvalue()
+    assert "fault scenario 'chaos'" in text
+    assert "layer sizes" in text
+    assert "fault retries" in text
+    assert "determinism ok" in text
+
+
+def test_faults_subcommand_none_scenario_verifies_noop():
+    out = io.StringIO()
+    assert (
+        main(
+            ["faults", "--scenario", "none", "--flows", "10", "--verify-noop"],
+            out=out,
+        )
+        == 0
+    )
+    text = out.getvalue()
+    assert "noop check ok" in text
+    assert "fault retries    : 0" in text
+
+
+def test_faults_subcommand_rejects_unknown_scenario():
+    with pytest.raises(SystemExit):
+        main(["faults", "--scenario", "nope"], out=io.StringIO())
