@@ -12,6 +12,16 @@ reorder rule installations.
 from repro.core.api import Tango
 from repro.core.behavior_inference import BehaviorProber, BehaviorProbeResult
 from repro.core.clustering import Cluster, cluster_1d
+from repro.core.fleet import (
+    CachedModel,
+    FleetInferenceEngine,
+    FleetMember,
+    FleetMemberResult,
+    FleetResult,
+    ModelCache,
+    build_fleet,
+    profile_fingerprint,
+)
 from repro.core.inference import InferredSwitchModel, SwitchInferenceEngine
 from repro.core.latency_curves import LatencyCurve, LatencyCurveProber
 from repro.core.patterns import (
@@ -57,6 +67,14 @@ __all__ = [
     "cluster_1d",
     "InferredSwitchModel",
     "SwitchInferenceEngine",
+    "CachedModel",
+    "FleetInferenceEngine",
+    "FleetMember",
+    "FleetMemberResult",
+    "FleetResult",
+    "ModelCache",
+    "build_fleet",
+    "profile_fingerprint",
     "LatencyCurve",
     "LatencyCurveProber",
     "ProbePattern",

@@ -17,8 +17,9 @@ reports how clean the run was (1.0 = fault-free).
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Generator, List, Optional, Tuple
 
 from repro.core.behavior_inference import BehaviorProber, BehaviorProbeResult
 from repro.core.latency_curves import (
@@ -119,6 +120,17 @@ class InferredSwitchModel:
             }
         return summary
 
+    def clone_as(self, name: str) -> "InferredSwitchModel":
+        """A deep copy of this model relabelled for another switch.
+
+        Used by the fleet model cache (:mod:`repro.core.fleet`): a cache
+        hit hands an identical switch a private copy of the origin
+        switch's model, so later mutations never alias across switches.
+        """
+        clone = copy.deepcopy(self)
+        clone.name = name
+        return clone
+
     def duration_estimator(self) -> DurationEstimator:
         """Per-request duration estimates from the measured curves.
 
@@ -187,6 +199,9 @@ class SwitchInferenceEngine:
         self.fault_injector = fault_injector
         self.retry_policy = retry_policy
         self._build_count = 0
+        #: Every probing engine built so far (one per probe stage round);
+        #: the fleet driver reads these to charge virtual time and ops.
+        self.probe_engines: List[ProbingEngine] = []
 
     def _fresh_engine(self) -> ProbingEngine:
         self._build_count += 1
@@ -194,13 +209,37 @@ class SwitchInferenceEngine:
         channel = ControlChannel(switch)
         if self.fault_injector is not None:
             channel = self.fault_injector.wrap_channel(channel)
-        return ProbingEngine(
+        engine = ProbingEngine(
             channel,
             scores=self.scores,
             rng=SeededRng(self.seed).child(f"probe:{self._build_count}"),
             tracer=self.tracer,
             metrics=self.metrics,
             retry_policy=self.retry_policy,
+        )
+        self.probe_engines.append(engine)
+        return engine
+
+    # -- accounting ---------------------------------------------------------------
+    def virtual_cost_ms(self) -> float:
+        """Total virtual probing time spent so far, over all probe rounds.
+
+        Each probe stage builds fresh switches whose local clocks start
+        at zero, so the cost of a run is the *sum* of those clocks --
+        exactly the serial virtual time `infer()` consumes, and the
+        quantity the fleet driver turns into event delays.
+        """
+        return sum(e.channel.clock.now_ms for e in self.probe_engines)
+
+    def probe_ops(self) -> int:
+        """Deterministic operation count for this engine's probing so far.
+
+        Flow installs plus RTT measurements over every probing engine
+        built -- a pure function of (profile, seed, knobs), used by the
+        ``fleet_infer`` perf-regression gate.
+        """
+        return sum(
+            e.installs_completed + e.rtt_measurements for e in self.probe_engines
         )
 
     # -- individual probes ------------------------------------------------------
@@ -230,11 +269,25 @@ class SwitchInferenceEngine:
         return BehaviorProber(self._fresh_engine()).probe()
 
     # -- full inference ------------------------------------------------------------
-    def infer(self, include_policy: bool = True) -> InferredSwitchModel:
-        """Run all probes and assemble the switch model."""
+    def infer_steps(
+        self, include_policy: bool = True
+    ) -> Generator[str, None, InferredSwitchModel]:
+        """Run the probes one stage at a time (a resumable generator).
+
+        Yields the completed stage's name after each probe stage (``"size"``,
+        ``"behavior"``, ``"policy"`` when it runs, ``"latency_curves"``),
+        and returns the assembled :class:`InferredSwitchModel` via
+        ``StopIteration.value``.  Driving the generator to exhaustion is
+        *byte-identical* to :meth:`infer` -- it is the same code --
+        which is what lets :class:`repro.core.fleet.FleetInferenceEngine`
+        interleave many switches on one event queue without perturbing
+        any single switch's results.
+        """
         model = InferredSwitchModel(name=self.profile.name)
         model.size_probe = self.infer_sizes()
+        yield "size"
         model.behavior_probe = self.infer_behavior()
+        yield "behavior"
         if include_policy:
             cache_size = self.policy_cache_size
             if cache_size is None:
@@ -242,8 +295,19 @@ class SwitchInferenceEngine:
             multi_layer = model.size_probe.num_layers > 1
             if cache_size is not None and cache_size >= 8 and multi_layer:
                 model.policy_probe = self.infer_policy(cache_size)
+                yield "policy"
         model.latency_curves = self.infer_latency_curves()
+        yield "latency_curves"
         self.scores.put(
             self.profile.name, "switch_model", model, source="inference_engine"
         )
         return model
+
+    def infer(self, include_policy: bool = True) -> InferredSwitchModel:
+        """Run all probes and assemble the switch model."""
+        steps = self.infer_steps(include_policy=include_policy)
+        while True:
+            try:
+                next(steps)
+            except StopIteration as stop:
+                return stop.value

@@ -134,6 +134,20 @@ class DriftDetector:
         scale = max(abs(before), abs(after), 1e-12)
         return abs(after - before) / scale
 
+    def compare_models(self, before: Any, after: Any) -> List[DriftFinding]:
+        """Like :meth:`compare`, accepting models or summary dicts.
+
+        Convenience for the fleet model cache
+        (:meth:`repro.core.fleet.ModelCache.invalidate_if_drifted`):
+        either argument may be an
+        :class:`~repro.core.inference.InferredSwitchModel` (its
+        ``to_dict`` summary is taken) or an already-serialised summary.
+        Switch names are ignored -- only measured properties count.
+        """
+        before_summary = before.to_dict() if hasattr(before, "to_dict") else before
+        after_summary = after.to_dict() if hasattr(after, "to_dict") else after
+        return self.compare(before_summary, after_summary)
+
     def compare(
         self, before: Dict[str, Any], after: Dict[str, Any]
     ) -> List[DriftFinding]:

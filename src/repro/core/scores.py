@@ -42,10 +42,24 @@ class ScoreRecord:
 
 
 class TangoScoreDatabase:
-    """Central store of probing results (TangoDB's score half)."""
+    """Central store of probing results (TangoDB's score half).
+
+    Lookups by switch are served from a per-switch secondary index that
+    is maintained on every :meth:`put`/:meth:`remove`, so
+    :meth:`records_for_switch` and :meth:`metrics_for_switch` cost
+    O(records for that switch) instead of a linear scan over the whole
+    database -- the difference between per-switch and fleet-scale cost
+    once thousands of switches share one TangoDB.  The index preserves
+    the exact ordering of the historical linear scan: records come back
+    in first-insertion order, and overwriting an existing key keeps its
+    original position.
+    """
 
     def __init__(self) -> None:
         self._records: Dict[ScoreKey, ScoreRecord] = {}
+        # Secondary index: switch -> insertion-ordered set of its keys
+        # (a dict-of-None, exploiting dict ordering; values are unused).
+        self._by_switch: Dict[str, Dict[ScoreKey, None]] = {}
 
     def put(
         self,
@@ -57,10 +71,24 @@ class TangoScoreDatabase:
         **params: Any,
     ) -> ScoreKey:
         key = ScoreKey.make(switch, metric, **params)
+        if key not in self._records:
+            self._by_switch.setdefault(switch, {})[key] = None
         self._records[key] = ScoreRecord(
             key=key, value=value, recorded_at_ms=recorded_at_ms, source=source
         )
         return key
+
+    def remove(self, switch: str, metric: str, **params: Any) -> bool:
+        """Delete one record (e.g. a stale cached model); True if it existed."""
+        key = ScoreKey.make(switch, metric, **params)
+        if self._records.pop(key, None) is None:
+            return False
+        bucket = self._by_switch.get(switch)
+        if bucket is not None:
+            bucket.pop(key, None)
+            if not bucket:
+                del self._by_switch[switch]
+        return True
 
     def get(self, switch: str, metric: str, default: Any = None, **params: Any) -> Any:
         key = ScoreKey.make(switch, metric, **params)
@@ -77,10 +105,22 @@ class TangoScoreDatabase:
         return ScoreKey.make(switch, metric, **params) in self._records
 
     def records_for_switch(self, switch: str) -> List[ScoreRecord]:
-        return [r for k, r in self._records.items() if k.switch == switch]
+        """All records for one switch, in first-insertion order."""
+        bucket = self._by_switch.get(switch)
+        if bucket is None:
+            return []
+        return [self._records[key] for key in bucket]
 
     def metrics_for_switch(self, switch: str) -> List[str]:
-        return sorted({k.metric for k in self._records if k.switch == switch})
+        """Sorted distinct metric names recorded for one switch."""
+        bucket = self._by_switch.get(switch)
+        if bucket is None:
+            return []
+        return sorted({key.metric for key in bucket})
+
+    def switches(self) -> List[str]:
+        """Sorted names of every switch with at least one record."""
+        return sorted(self._by_switch)
 
     def __len__(self) -> int:
         return len(self._records)

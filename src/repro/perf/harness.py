@@ -50,12 +50,15 @@ from repro.faults import (
     verify_noop_injection,
 )
 from repro.obs.metrics import MetricsRegistry
+from repro.core.fleet import FleetInferenceEngine, build_fleet
 from repro.perf.reference import ReferenceBasicTangoScheduler, SortedListShiftModel
 from repro.perf.workloads import (
+    FLEET_BENCH_KNOBS,
     UNLOCK_ESTIMATES,
     chain_dag,
     descending_priorities,
     fast_executor,
+    fleet_bench_profiles,
     layered_dag,
     unlock_groups_dag,
 )
@@ -248,13 +251,85 @@ def bench_faulted_schedule(n: int, with_reference: bool = True) -> BenchRecord:
     return record
 
 
+#: The fleet-inference case runs full (if tiny) probe pipelines, so its
+#: member count is capped independently of the suite size knob.
+FLEET_CAP = 12
+
+
+def bench_fleet_infer(n: int, with_reference: bool = True) -> BenchRecord:
+    """Concurrent fleet inference over 3 distinct tiny profiles.
+
+    Ops are the fleet's deterministic probe-operation total (flow
+    installs + RTT measurements across every full probe run) -- a pure
+    function of (profiles, seed, knobs).  A change that defeats the
+    model cache or the single-flight coalescing multiplies full probe
+    runs and blows the op count up ~4x, which the gate catches; the
+    virtual makespan/sequential-sum ratio lands in the detail for the
+    BENCH trajectory.
+    """
+    del with_reference  # trajectory-only; inference had no sequential-fleet arm
+    size = min(n, FLEET_CAP)
+    registry = MetricsRegistry()
+    engine = FleetInferenceEngine(
+        build_fleet(fleet_bench_profiles(), size),
+        seed=3,
+        metrics=registry,
+        **FLEET_BENCH_KNOBS,
+    )
+    wall_ms, result = _timed(lambda: engine.infer_fleet(include_policy=False))
+    record = BenchRecord(
+        case="fleet_infer", n=size, wall_ms=wall_ms, ops=result.probe_ops
+    )
+    record.detail = {
+        "makespan_ms": result.makespan_ms,
+        "sequential_sum_ms": result.sequential_sum_ms,
+        "speedup_virtual": round(result.speedup, 3),
+        "full_probe_runs": result.full_probe_runs,
+        "cache_hits": result.cache_hits,
+        "coalesced_joins": result.coalesced_joins,
+        "attribution": registry.snapshot(),
+    }
+    return record
+
+
 _CASES = (
     bench_chain_schedule,
     bench_layered_schedule,
     bench_descending_shifts,
     bench_prefix_lookahead,
     bench_faulted_schedule,
+    bench_fleet_infer,
 )
+
+
+def _fleet_signature(result) -> Tuple:
+    """Byte-comparable digest of a fleet run (models, timing, ops)."""
+    import json
+
+    return tuple(
+        (
+            member.name,
+            json.dumps(member.model.to_dict(), sort_keys=True),
+            member.started_ms,
+            member.finished_ms,
+            member.cache_hit,
+            member.coalesced,
+            member.probe_ops,
+        )
+        for member in result.members
+    ) + (result.makespan_ms,)
+
+
+def _noop_fleet_run(tracer, metrics):
+    engine = FleetInferenceEngine(
+        build_fleet(fleet_bench_profiles()[:2], 3),
+        seed=9,
+        max_in_flight=2,
+        tracer=tracer,
+        metrics=metrics,
+        **FLEET_BENCH_KNOBS,
+    )
+    return engine.infer_fleet(include_policy=False)
 
 
 def verify_noop_instrumentation(n: int = 1000) -> Dict[str, object]:
@@ -262,8 +337,10 @@ def verify_noop_instrumentation(n: int = 1000) -> Dict[str, object]:
 
     Runs the layered case twice -- bare, then with a live tracer and
     metrics registry -- and requires identical schedule signatures and
-    DAG op counts.  Raises :class:`AssertionError` on any divergence;
-    returns the comparison payload for reporting.
+    DAG op counts; then does the same with a small concurrent fleet
+    inference run (identical models, member timelines, and probe op
+    counts).  Raises :class:`AssertionError` on any divergence; returns
+    the comparison payload for reporting.
     """
     from repro.obs.trace import Tracer
 
@@ -279,14 +356,29 @@ def verify_noop_instrumentation(n: int = 1000) -> Dict[str, object]:
     )
     traced = scheduler.schedule(traced_dag)
 
+    bare_fleet = _noop_fleet_run(tracer=None, metrics=None)
+    fleet_tracer = Tracer()
+    traced_fleet = _noop_fleet_run(tracer=fleet_tracer, metrics=MetricsRegistry())
+
     payload: Dict[str, object] = {
         "bare_ops": bare_dag.ops.total(),
         "traced_ops": traced_dag.ops.total(),
         "signatures_equal": _schedule_signature(bare) == _schedule_signature(traced),
         "trace_events": len(tracer),
+        "fleet_bare_ops": bare_fleet.probe_ops,
+        "fleet_traced_ops": traced_fleet.probe_ops,
+        "fleet_signatures_equal": (
+            _fleet_signature(bare_fleet) == _fleet_signature(traced_fleet)
+        ),
+        "fleet_trace_events": len(fleet_tracer),
     }
     if payload["bare_ops"] != payload["traced_ops"] or not payload["signatures_equal"]:
         raise AssertionError(f"telemetry changed scheduler work: {payload}")
+    if (
+        payload["fleet_bare_ops"] != payload["fleet_traced_ops"]
+        or not payload["fleet_signatures_equal"]
+    ):
+        raise AssertionError(f"telemetry changed fleet inference work: {payload}")
     return payload
 
 

@@ -18,7 +18,8 @@ from repro.openflow.match import IpPrefix, Match
 from repro.openflow.messages import FlowModCommand
 from repro.sim.latency import ConstantLatency
 from repro.switches.base import ControlCostModel, SimulatedSwitch
-from repro.tables.policies import FIFO
+from repro.switches.profiles import SwitchProfile, make_cache_test_profile
+from repro.tables.policies import FIFO, LIFO, LRU
 from repro.tables.stack import TableLayer
 
 
@@ -140,3 +141,32 @@ def unlock_groups_dag(n: int, group: int = 20) -> RequestDag:
 def descending_priorities(n: int) -> List[int]:
     """The TCAM-hostile install order: every add shifts all residents."""
     return list(range(n, 0, -1))
+
+
+#: Engine knobs for the fleet-inference bench: tiny rule caps and batch
+#: sizes keep a full probe run fast while still exercising every stage.
+FLEET_BENCH_KNOBS = {
+    "size_probe_max_rules": 192,
+    "latency_batch_sizes": (20, 60),
+}
+
+
+def fleet_bench_profiles() -> List[SwitchProfile]:
+    """Three small, distinct, deterministic profiles for fleet benches.
+
+    Distinct layer sizes, cache policies, and path delays give each
+    profile its own fingerprint (three full probe runs in a cold-cache
+    fleet) and measurably different probe durations, so the fleet
+    driver's interleaving actually reorders events.
+    """
+    return [
+        make_cache_test_profile(
+            FIFO, layer_sizes=(64, None), layer_means_ms=(0.5, 4.8), name="fleet-a"
+        ),
+        make_cache_test_profile(
+            LRU, layer_sizes=(48, None), layer_means_ms=(0.6, 5.0), name="fleet-b"
+        ),
+        make_cache_test_profile(
+            LIFO, layer_sizes=(96, None), layer_means_ms=(0.4, 4.2), name="fleet-c"
+        ),
+    ]

@@ -84,6 +84,16 @@ class Simulator:
             )
         return self.queue.push(time_ms, action)
 
+    def call_soon(self, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` at the current instant, after pending peers.
+
+        Zero-delay events still go through the queue, so same-instant
+        callbacks fire in deterministic ``(time, insertion order)``
+        sequence -- the tie-break the fleet inference driver relies on
+        for reproducible member admission and cache-hit completion.
+        """
+        return self.queue.push(self.clock.now_ms, action)
+
     def run(self, until_ms: Optional[float] = None) -> float:
         """Run events until the queue drains or ``until_ms`` is reached.
 

@@ -8,7 +8,13 @@ Usage::
 
     python -m repro.tools.cli probe --profile switch2
     python -m repro.tools.cli probe --profile switch1 --policy --seed 7
+    python -m repro.tools.cli infer --profile switch2 --fleet 16 --max-in-flight 8
     python -m repro.tools.cli profiles
+
+``infer`` is an alias of ``probe``; with ``--fleet N`` the command runs
+the event-driven fleet engine (``repro.core.fleet``) over N switches
+concurrently in virtual time and reports makespan vs. the one-at-a-time
+sum plus model-cache statistics.
 """
 
 from __future__ import annotations
@@ -28,7 +34,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    probe = sub.add_parser("probe", help="probe one vendor profile")
+    probe = sub.add_parser(
+        "probe",
+        aliases=["infer"],
+        help="probe one vendor profile (or a fleet with --fleet)",
+    )
     probe.add_argument(
         "--profile",
         required=True,
@@ -36,6 +46,30 @@ def _build_parser() -> argparse.ArgumentParser:
         help="vendor profile to probe",
     )
     probe.add_argument("--seed", type=int, default=0, help="probe RNG seed")
+    probe.add_argument(
+        "--fleet",
+        type=int,
+        metavar="N",
+        help="infer a fleet of N switches concurrently in virtual time "
+        "(cycling --fleet-profiles, default just --profile)",
+    )
+    probe.add_argument(
+        "--fleet-profiles",
+        metavar="A,B,...",
+        help="comma-separated vendor profiles cycled to fill the fleet "
+        "(defaults to --profile)",
+    )
+    probe.add_argument(
+        "--max-in-flight",
+        type=int,
+        metavar="K",
+        help="probe at most K fleet members concurrently (default unbounded)",
+    )
+    probe.add_argument(
+        "--no-fleet-cache",
+        action="store_true",
+        help="disable the profile-fingerprint model cache for the fleet run",
+    )
     probe.add_argument(
         "--policy",
         action="store_true",
@@ -205,6 +239,83 @@ def _write_trace_outputs(args, tracer, metrics, out) -> None:
         f"{base}.chrome.json, {base}.prom",
         file=out,
     )
+
+
+def _run_fleet(args, out) -> int:
+    import json
+
+    from repro.core.fleet import FleetInferenceEngine, build_fleet
+
+    if args.fleet < 1:
+        print(f"--fleet must be positive, got {args.fleet}", file=out)
+        return 2
+    if args.fleet_profiles:
+        names = [name.strip() for name in args.fleet_profiles.split(",") if name.strip()]
+    else:
+        names = [args.profile]
+    unknown = sorted(set(names) - set(VENDOR_PROFILES))
+    if unknown:
+        print(
+            f"unknown fleet profile(s): {', '.join(unknown)} "
+            f"(choose from {', '.join(sorted(VENDOR_PROFILES))})",
+            file=out,
+        )
+        return 2
+    members = build_fleet([VENDOR_PROFILES[name] for name in names], args.fleet)
+    tracer, metrics = _make_telemetry(args)
+    engine = FleetInferenceEngine(
+        members,
+        seed=args.seed,
+        max_in_flight=args.max_in_flight,
+        use_cache=not args.no_fleet_cache,
+        tracer=tracer,
+        metrics=metrics,
+        size_probe_max_rules=args.max_rules,
+        latency_batch_sizes=(100, 400, 900),
+    )
+    result = engine.infer_fleet(include_policy=args.policy)
+    if args.json:
+        print(json.dumps(result.summary(), indent=2), file=out)
+        _write_trace_outputs(args, tracer, metrics, out)
+        return 0
+    in_flight = (
+        "unbounded" if result.max_in_flight is None else str(result.max_in_flight)
+    )
+    plural = "s" if len(names) != 1 else ""
+    print(
+        f"fleet inference: {len(result.members)} switches "
+        f"({len(names)} profile{plural}), max in flight {in_flight}",
+        file=out,
+    )
+    print(f"  virtual makespan : {result.makespan_ms / 1000.0:9.2f} s", file=out)
+    print(
+        f"  sequential sum   : {result.sequential_sum_ms / 1000.0:9.2f} s "
+        f"({result.speedup:.2f}x speedup)",
+        file=out,
+    )
+    print(
+        f"  full probe runs  : {result.full_probe_runs}  "
+        f"(cache hits {result.cache_hits}, "
+        f"coalesced {result.coalesced_joins})",
+        file=out,
+    )
+    print(f"  probe operations : {result.probe_ops}", file=out)
+    print("  per switch:", file=out)
+    for member in result.members:
+        if member.cache_hit:
+            source = f"cache:{member.cache_origin}"
+        elif member.coalesced:
+            source = f"coalesced:{member.cache_origin}"
+        else:
+            source = "probe"
+        print(
+            f"    {member.name:<14s} {member.profile_name:<10s} "
+            f"start {member.started_ms / 1000.0:8.2f} s  "
+            f"finish {member.finished_ms / 1000.0:8.2f} s  {source}",
+            file=out,
+        )
+    _write_trace_outputs(args, tracer, metrics, out)
+    return 0
 
 
 def _run_schedule(args, out) -> int:
@@ -441,6 +552,9 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             ]
             print(f"{name:10s} layers: {', '.join(sizes)}", file=out)
         return 0
+
+    if args.fleet is not None:
+        return _run_fleet(args, out)
 
     profile = VENDOR_PROFILES[args.profile]
     tracer, metrics = _make_telemetry(args)

@@ -97,6 +97,7 @@ def test_run_suite_quick_sizes_and_keys():
         "descending_shifts:50",
         "prefix_lookahead:50",
         "faulted_schedule:50",
+        "fleet_infer:12",  # fleet size is capped at FLEET_CAP
     ]
 
 
@@ -133,7 +134,7 @@ def test_report_document_shape():
     report = records_to_report(records, [], quick=True, baseline_path=None)
     assert report["ok"] is True
     assert report["suite"] == "scheduler-hot-paths"
-    assert len(report["results"]) == 5
+    assert len(report["results"]) == 6
     assert {"case", "n", "wall_ms", "ops"} <= set(report["results"][0])
 
 
@@ -253,6 +254,29 @@ def test_verify_noop_instrumentation_passes():
     assert payload["bare_ops"] == payload["traced_ops"] > 0
     assert payload["signatures_equal"] is True
     assert payload["trace_events"] > 0
+    # The fleet arm of the check: telemetry must not change fleet probe
+    # work either (ops, models, virtual timings).
+    assert payload["fleet_bare_ops"] == payload["fleet_traced_ops"] > 0
+    assert payload["fleet_signatures_equal"] is True
+    assert payload["fleet_trace_events"] > 0
+
+
+def test_fleet_infer_case_is_trajectory_only_and_deterministic():
+    from repro.perf.harness import FLEET_CAP, bench_fleet_infer
+
+    first = bench_fleet_infer(1000)
+    second = bench_fleet_infer(1000)
+    assert first.n == second.n == FLEET_CAP  # capped fleet size
+    assert first.ref_ops is None and first.identical is None
+    assert first.ops == second.ops > 0
+    assert first.detail["makespan_ms"] == second.detail["makespan_ms"]
+    # 3 distinct profiles -> 3 full probes; the rest coalesce or hit cache.
+    assert first.detail["full_probe_runs"] == 3
+    assert (
+        first.detail["cache_hits"] + first.detail["coalesced_joins"]
+        == FLEET_CAP - 3
+    )
+    assert first.detail["speedup_virtual"] > 1.0
 
 
 def test_faulted_schedule_case_is_deterministic_and_counts_faults():

@@ -148,6 +148,90 @@ def test_schedule_trace_is_deterministic(tmp_path):
     assert outputs[0] == outputs[1]
 
 
+# -- fleet inference ----------------------------------------------------------
+def _fleet_args(*extra):
+    return [
+        "infer", "--profile", "switch3", "--fleet", "4",
+        "--fleet-profiles", "switch3,switch1", "--max-rules", "1024",
+    ] + list(extra)
+
+
+def test_infer_alias_runs_the_probe_path():
+    out = io.StringIO()
+    assert main(["infer", "--profile", "switch3", "--max-rules", "1024"], out=out) == 0
+    assert "switch profile : switch3" in out.getvalue()
+
+
+def test_fleet_report_shows_makespan_cache_and_members():
+    out = io.StringIO()
+    assert main(_fleet_args("--max-in-flight", "2"), out=out) == 0
+    text = out.getvalue()
+    assert "fleet inference: 4 switches (2 profiles), max in flight 2" in text
+    assert "virtual makespan" in text
+    assert "sequential sum" in text
+    # With 2 slots, switch3#2 joins switch3's in-flight probe; switch1#2
+    # is admitted after switch1 completed, so it hits the stored cache.
+    assert "full probe runs  : 2" in text
+    assert "cache hits 1, coalesced 1" in text
+    assert "switch3#2" in text and "coalesced:switch3" in text
+    assert "switch1#2" in text and "cache:switch1" in text
+
+
+def test_fleet_json_summary():
+    import json
+
+    out = io.StringIO()
+    assert main(_fleet_args("--json"), out=out) == 0
+    summary = json.loads(out.getvalue())
+    assert summary["members"] == 4
+    assert summary["full_probe_runs"] == 2
+    assert summary["coalesced_joins"] == 2
+    assert summary["makespan_ms"] < summary["sequential_sum_ms"]
+    assert [m["name"] for m in summary["per_member"]] == [
+        "switch3", "switch1", "switch3#2", "switch1#2",
+    ]
+
+
+def test_fleet_no_cache_probes_every_member():
+    import json
+
+    out = io.StringIO()
+    assert main(_fleet_args("--json", "--no-fleet-cache"), out=out) == 0
+    summary = json.loads(out.getvalue())
+    assert summary["full_probe_runs"] == 4
+    assert summary["cache_hits"] == summary["coalesced_joins"] == 0
+
+
+def test_fleet_trace_writes_artifacts_with_fleet_events(tmp_path):
+    import json
+
+    base = str(tmp_path / "fleet-run")
+    out = io.StringIO()
+    assert main(_fleet_args("--trace", base), out=out) == 0
+    assert "trace:" in out.getvalue()
+    events = [json.loads(line) for line in open(base + ".jsonl")]
+    names = {e["name"] for e in events}
+    assert {"fleet.infer", "fleet.member_start", "fleet.member_finish"} <= names
+    assert "fleet_full_probes" in open(base + ".prom").read()
+
+
+def test_fleet_rejects_bad_sizes_and_profiles():
+    out = io.StringIO()
+    assert main(
+        ["infer", "--profile", "switch3", "--fleet", "0"], out=out
+    ) == 2
+    assert "--fleet must be positive" in out.getvalue()
+    out = io.StringIO()
+    assert main(
+        [
+            "infer", "--profile", "switch3", "--fleet", "2",
+            "--fleet-profiles", "switch3,nope",
+        ],
+        out=out,
+    ) == 2
+    assert "unknown fleet profile(s): nope" in out.getvalue()
+
+
 # -- faults subcommand --------------------------------------------------------
 def test_faults_subcommand_chaos_end_to_end():
     out = io.StringIO()
