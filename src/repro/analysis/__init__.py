@@ -1,12 +1,15 @@
 """Pre-execution static verification for Tango control plans.
 
-The package provides four checkers sharing one diagnostic model
+The package provides five checkers sharing one diagnostic model
 (:mod:`repro.analysis.diagnostics`):
 
 * :mod:`repro.analysis.rulecheck` — rule-set overlap/shadowing (TNG00x)
 * :mod:`repro.analysis.dagcheck` — request-DAG validity (TNG01x)
 * :mod:`repro.analysis.capacity` — TCAM admission control (TNG02x)
-* :mod:`repro.analysis.lint` — source determinism linter (TNG03x)
+* :mod:`repro.analysis.lint` — source determinism + shard-safety linter
+  (TNG03x, TNG041–TNG043)
+* :mod:`repro.analysis.racecheck` — virtual-time tie-break race detector
+  and determinism sanitizer (TNG040)
 
 :func:`analyze_dag` bundles the plan-facing checks (DAG + rules +
 capacity) into the single call the strict scheduler mode and the CLI
@@ -50,16 +53,35 @@ __all__ = [
     "group_by_location",
     "lint_paths",
     "lint_source",
+    "RaceSanitizer",
+    "check_races",
+    "run_racy_fixture",
+    "sanitized_fleet_run",
+    "verify_noop_sanitize",
 ]
+
+#: Lazily imported names -> providing submodule.  Lint is lazy so
+#: ``python -m repro.analysis.lint`` does not trigger runpy's
+#: double-import warning; racecheck is lazy because it pulls in
+#: :mod:`repro.core` (fleet, scores), which this package must not import
+#: eagerly.
+_LAZY = {
+    "lint_paths": "lint",
+    "lint_source": "lint",
+    "RaceSanitizer": "racecheck",
+    "check_races": "racecheck",
+    "run_racy_fixture": "racecheck",
+    "sanitized_fleet_run": "racecheck",
+    "verify_noop_sanitize": "racecheck",
+}
 
 
 def __getattr__(name: str):
-    # Imported lazily so ``python -m repro.analysis.lint`` does not
-    # trigger runpy's double-import warning.
-    if name in ("lint_paths", "lint_source"):
-        from repro.analysis import lint
+    module = _LAZY.get(name)
+    if module is not None:
+        import importlib
 
-        return getattr(lint, name)
+        return getattr(importlib.import_module(f"repro.analysis.{module}"), name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 

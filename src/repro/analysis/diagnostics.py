@@ -14,13 +14,15 @@ Code ranges (one block per checker):
 * ``TNG01x`` — request-DAG checks (:mod:`repro.analysis.dagcheck`)
 * ``TNG02x`` — capacity admission checks (:mod:`repro.analysis.capacity`)
 * ``TNG03x`` — determinism linter (:mod:`repro.analysis.lint`)
+* ``TNG04x`` — race detector + shard-safety lint rules
+  (:mod:`repro.analysis.racecheck`, :mod:`repro.analysis.lint`)
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 
 class Severity(enum.Enum):
@@ -61,6 +63,14 @@ CODE_CATALOG: Dict[str, str] = {
     "TNG033": "mutable default argument",
     "TNG034": "unparseable source: the file is not valid Python",
     "TNG035": "swallowed exception: bare/broad except handler without a raise",
+    # racecheck + shard-safety lint ----------------------------------------
+    "TNG040": "tie-break race: conflicting same-virtual-time accesses with no "
+    "happens-before edge",
+    "TNG041": "module-level mutable state in simulator/core code",
+    "TNG042": "shared module state mutated inside a resumable generator, "
+    "bypassing the event queue",
+    "TNG043": "object-identity ordering: id() used as a sort key or in an "
+    "ordering comparison",
 }
 
 
@@ -75,6 +85,9 @@ class Diagnostic:
         location: where it was found — a switch name, ``request <id>``,
             or ``path:line`` for lint findings.
         hint: optional suggestion for fixing the problem.
+        trace: optional supporting evidence, one line per entry — the
+            race detector (TNG040) attaches the full ``(time, sequence,
+            owner, operation)`` access trace of the racy location here.
     """
 
     code: str
@@ -82,6 +95,7 @@ class Diagnostic:
     message: str
     location: str = ""
     hint: Optional[str] = None
+    trace: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.code not in CODE_CATALOG:
@@ -104,6 +118,8 @@ class Diagnostic:
             payload["location"] = self.location
         if self.hint:
             payload["hint"] = self.hint
+        if self.trace:
+            payload["trace"] = list(self.trace)
         return payload
 
 
@@ -126,10 +142,16 @@ class DiagnosticReport:
         message: str,
         location: str = "",
         hint: Optional[str] = None,
+        trace: Tuple[str, ...] = (),
     ) -> Diagnostic:
         """Create, record, and return one diagnostic."""
         diagnostic = Diagnostic(
-            code=code, severity=severity, message=message, location=location, hint=hint
+            code=code,
+            severity=severity,
+            message=message,
+            location=location,
+            hint=hint,
+            trace=tuple(trace),
         )
         self.diagnostics.append(diagnostic)
         return diagnostic

@@ -448,6 +448,14 @@ class FleetInferenceEngine:
             (fault decision streams are per switch *name*, so members
             fault independently; retry holds play out on each member's
             local probe clocks and lengthen only that member's stages).
+        sanitizer: optional
+            :class:`~repro.analysis.racecheck.RaceSanitizer`.  When set,
+            the score database, metrics registry, and model cache are
+            wrapped in access-logging proxies, the fleet simulator
+            records event provenance, and every access is attributed to
+            the member on whose behalf it ran -- feeding the TNG040
+            tie-break race check.  ``None`` (the default) leaves the run
+            byte-identical to an unsanitized one.
         remaining keyword knobs: forwarded to every member's
             :class:`SwitchInferenceEngine`.
     """
@@ -468,6 +476,7 @@ class FleetInferenceEngine:
         size_accuracy_target: float = 0.02,
         latency_batch_sizes: Tuple[int, ...] = (100, 400, 900, 1600),
         policy_cache_size: Optional[int] = None,
+        sanitizer=None,
     ) -> None:
         from repro.obs.metrics import NULL_METRICS
         from repro.obs.trace import NULL_TRACER
@@ -497,6 +506,13 @@ class FleetInferenceEngine:
         self.metrics = metrics if metrics is not None else NULL_METRICS
         self.fault_injector = fault_injector
         self.retry_policy = retry_policy
+        self.sanitizer = sanitizer
+        if sanitizer is not None:
+            # Wrap shared state *before* anything captures a handle, so
+            # member engines and the model cache all go through the
+            # logging proxies.
+            self.scores = sanitizer.wrap_scores(self.scores)
+            self.metrics = sanitizer.wrap_metrics(self.metrics)
         self.engine_knobs: Dict[str, Any] = {
             "size_probe_max_rules": size_probe_max_rules,
             "size_accuracy_target": size_accuracy_target,
@@ -504,6 +520,8 @@ class FleetInferenceEngine:
             "policy_cache_size": policy_cache_size,
         }
         self.cache = ModelCache(self.scores, metrics=self.metrics)
+        if sanitizer is not None:
+            self.cache = sanitizer.wrap_cache(self.cache)
         self._fingerprints: Dict[str, str] = {}
 
     # -- helpers ---------------------------------------------------------------
@@ -555,7 +573,10 @@ class FleetInferenceEngine:
         approaches the slowest member's own probe time, and with a warm
         cache the cached members cost (virtual) nothing at all.
         """
-        sim = Simulator()
+        if self.sanitizer is not None:
+            sim = self.sanitizer.make_simulator()
+        else:
+            sim = Simulator()
         fleet_clock = sim.clock
         results: Dict[str, FleetMemberResult] = {}
         pending = deque(range(len(self.members)))
@@ -575,6 +596,11 @@ class FleetInferenceEngine:
 
         def read_clock() -> float:
             return fleet_clock.now_ms
+
+        def set_owner(name: str) -> None:
+            # Attribute sanitized accesses to the member being driven.
+            if self.sanitizer is not None:
+                self.sanitizer.set_owner(name)
 
         def finish_member(result: FleetMemberResult) -> None:
             results[result.name] = result
@@ -599,6 +625,7 @@ class FleetInferenceEngine:
             fingerprint: str,
             coalesced: bool,
         ) -> None:
+            set_owner(member.name)
             now = fleet_clock.now_ms
             model = entry.model.clone_as(member.name)
             self.scores.put(
@@ -630,6 +657,7 @@ class FleetInferenceEngine:
             driver: _MemberDriver, started_ms: float, fingerprint: str
         ) -> None:
             nonlocal in_flight
+            set_owner(driver.member.name)
             now = fleet_clock.now_ms
             assert driver.model is not None
             stored: Optional[CachedModel] = None
@@ -676,6 +704,7 @@ class FleetInferenceEngine:
             admit()
 
         def step(driver: _MemberDriver, started_ms: float, fingerprint: str) -> None:
+            set_owner(driver.member.name)
             stage, elapsed, done = driver.advance(fleet_clock.now_ms)
             if self.tracer.enabled and stage is not None:
                 self.tracer.event(
@@ -698,6 +727,7 @@ class FleetInferenceEngine:
         def start_member(index: int) -> None:
             nonlocal in_flight
             member = self.members[index]
+            set_owner(member.name)
             started_ms = fleet_clock.now_ms
             fingerprint = self.fingerprint_for(member, include_policy)
             self._fingerprints[member.name] = fingerprint

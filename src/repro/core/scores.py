@@ -118,6 +118,15 @@ class TangoScoreDatabase:
             return []
         return sorted({key.metric for key in bucket})
 
+    def records(self) -> List[ScoreRecord]:
+        """Every stored record, in insertion order.
+
+        The ground truth a linear scan would see -- the differential
+        test for the per-switch secondary index compares
+        :meth:`records_for_switch` against a filter over this list.
+        """
+        return list(self._records.values())
+
     def switches(self) -> List[str]:
         """Sorted names of every switch with at least one record."""
         return sorted(self._by_switch)

@@ -271,8 +271,10 @@ def scoped(registry: Optional[MetricsRegistry] = None) -> Iterator[MetricsRegist
     global _DEFAULT_REGISTRY
     fresh = registry if registry is not None else MetricsRegistry()
     previous = _DEFAULT_REGISTRY
-    _DEFAULT_REGISTRY = fresh
+    # Not a resumable probe generator: a @contextmanager that swaps the
+    # process default for one ``with`` block, restored in finally.
+    _DEFAULT_REGISTRY = fresh  # tango-lint: disable=TNG042
     try:
         yield fresh
     finally:
-        _DEFAULT_REGISTRY = previous
+        _DEFAULT_REGISTRY = previous  # tango-lint: disable=TNG042

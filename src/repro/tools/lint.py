@@ -3,10 +3,15 @@
 Thin wrapper so the linter lives alongside the other operator tools
 (``tango-probe``, ``tango-report``)::
 
-    tango-lint src/repro
+    tango-lint src/repro examples benchmarks
+    tango-lint src/repro --format json
     python -m repro.tools.lint src/repro
 
-The implementation is :mod:`repro.analysis.lint`.
+CI invokes this installed console script (it is what pyproject maps the
+``tango-lint`` entry point to).  Exit codes are stable — 0 clean, 1
+findings, 2 usage error — and per-line suppressions use
+``# tango-lint: disable=TNG0xx``.  The implementation is
+:mod:`repro.analysis.lint`.
 """
 
 from __future__ import annotations

@@ -52,6 +52,36 @@ def render_diagnostics(diagnostics: List[Any], heading: str = "### Diagnostics")
     return lines
 
 
+def render_races(summary: Dict[str, Any], heading: str = "### Race check") -> List[str]:
+    """Markdown lines for a race-check summary.
+
+    Accepts the payload produced by
+    :meth:`repro.analysis.racecheck.RaceCheckResult.summary` (the form
+    benchmarks and the race-smoke CI job store in
+    ``extra_info["races"]``).  Each TNG040 finding is rendered with its
+    full ``(time, sequence)`` access trace.
+    """
+    lines = [heading, ""]
+    lines.append(
+        f"- accesses: {summary.get('accesses', 0)} over "
+        f"{summary.get('events', 0)} events "
+        f"({summary.get('locations', 0)} locations)"
+    )
+    findings = summary.get("findings", 0)
+    lines.append(f"- findings: {findings}")
+    for payload in summary.get("diagnostics") or ():
+        location = f" `{payload['location']}`" if payload.get("location") else ""
+        lines.append(
+            f"- **{payload.get('code', '?')}** "
+            f"({payload.get('severity', '?')}){location}: "
+            f"{payload.get('message', '')}"
+        )
+        for entry in payload.get("trace") or ():
+            lines.append(f"  - `{entry}`")
+    lines.append("")
+    return lines
+
+
 def render_telemetry(summary: Dict[str, Any], heading: str = "### Telemetry") -> List[str]:
     """Markdown lines for a trace summary.
 
@@ -104,6 +134,7 @@ def render_report(data: Dict[str, Any]) -> str:
         extra = dict(bench.get("extra_info") or {})
         diagnostics = extra.pop("diagnostics", None)
         telemetry = extra.pop("telemetry", None)
+        races = extra.pop("races", None)
         if extra:
             lines.append("Reported results:")
             for key, value in extra.items():
@@ -112,11 +143,14 @@ def render_report(data: Dict[str, Any]) -> str:
                     lines.extend(_format_value(value, indent=1))
                 else:
                     lines.append(f"- **{key}**: {value}")
-        elif diagnostics is None and telemetry is None:
+        elif diagnostics is None and telemetry is None and races is None:
             lines.append("(no extra_info recorded)")
         if diagnostics:
             lines.append("")
             lines.extend(render_diagnostics(diagnostics))
+        if races:
+            lines.append("")
+            lines.extend(render_races(races))
         if telemetry:
             lines.append("")
             lines.extend(render_telemetry(telemetry))

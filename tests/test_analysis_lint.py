@@ -201,3 +201,156 @@ def test_nested_raise_inside_conditional_counts():
         "    if fatal(e):\n        raise\n    else:\n        log(e)\n"
     )
     assert _codes(source) == []
+
+
+# -- TNG041: module-level mutable state ----------------------------------------
+def test_module_level_mutable_state_flagged_in_core():
+    assert _codes("registry = {}\n") == ["TNG041"]
+    assert _codes("pending = []\n", "sim/driver.py") == ["TNG041"]
+    assert _codes("seen = set()\n") == ["TNG041"]
+    assert _codes("queues = defaultdict(list)\n") == ["TNG041"]
+    assert _codes("cache: dict = {}\n") == ["TNG041"]
+
+
+def test_constant_convention_and_dunder_bindings_are_exempt():
+    assert _codes("VENDOR_TABLE = {}\n") == []
+    assert _codes("_PRIVATE_MAP = {'a': 1}\n") == []
+    assert _codes("__all__ = ['x']\n") == []
+
+
+def test_module_level_mutable_state_outside_scope_is_fine():
+    assert _codes("registry = {}\n", "tools/cli.py") == []
+    assert _codes("registry = {}\n", "analysis/lint.py") == []
+
+
+def test_immutable_and_class_level_bindings_are_fine():
+    assert _codes("origin = (0, 0)\n") == []
+    assert _codes("class C:\n    shared = {}\n") == []
+    assert _codes("def f():\n    local = {}\n    return local\n") == []
+
+
+# -- TNG042: generator shared-state mutation -----------------------------------
+def test_generator_mutating_global_is_flagged():
+    source = (
+        "def steps():\n"
+        "    global shared\n"
+        "    yield 'a'\n"
+        "    shared = 1\n"
+    )
+    assert _codes(source) == ["TNG042"]
+
+
+def test_generator_calling_mutating_method_on_global_is_flagged():
+    source = (
+        "def steps():\n"
+        "    global shared\n"
+        "    yield 'a'\n"
+        "    shared.append(1)\n"
+    )
+    assert _codes(source) == ["TNG042"]
+
+
+def test_generator_mutating_nonlocal_is_flagged():
+    source = (
+        "def outer():\n"
+        "    count = 0\n"
+        "    def steps():\n"
+        "        nonlocal count\n"
+        "        yield 'a'\n"
+        "        count += 1\n"
+        "    return steps\n"
+    )
+    assert _codes(source) == ["TNG042"]
+
+
+def test_plain_function_mutating_global_is_not_a_generator_finding():
+    source = "def f():\n    global shared\n    shared = 1\n"
+    assert _codes(source) == []
+
+
+def test_generator_with_local_state_only_is_fine():
+    source = (
+        "def steps():\n"
+        "    local = []\n"
+        "    yield 'a'\n"
+        "    local.append(1)\n"
+    )
+    assert _codes(source) == []
+
+
+# -- TNG043: object-identity ordering ------------------------------------------
+def test_sorted_by_id_is_flagged():
+    assert _codes("out = sorted(items, key=id)\n") == ["TNG043"]
+    assert _codes("items.sort(key=id)\n") == ["TNG043"]
+    assert _codes("best = min(items, key=id)\n") == ["TNG043"]
+
+
+def test_lambda_id_key_is_flagged():
+    assert _codes("out = sorted(items, key=lambda x: id(x))\n") == ["TNG043"]
+    assert _codes("out = sorted(items, key=lambda x: (id(x), x.t))\n") == ["TNG043"]
+
+
+def test_id_ordering_comparison_is_flagged():
+    assert _codes("first = id(a) < id(b)\n") == ["TNG043"]
+    assert _codes("if id(a) >= threshold:\n    pass\n") == ["TNG043"]
+
+
+def test_id_equality_and_stable_keys_are_fine():
+    assert _codes("same = id(a) == id(b)\n") == []
+    assert _codes("out = sorted(items, key=lambda x: x.name)\n") == []
+    assert _codes("out = sorted(items)\n") == []
+
+
+# -- per-line suppression ------------------------------------------------------
+def test_suppression_comment_silences_the_named_code():
+    assert _codes("registry = {}  # tango-lint: disable=TNG041\n") == []
+
+
+def test_suppression_comment_with_multiple_codes():
+    source = "def f(x=[]):  # tango-lint: disable=TNG033,TNG041\n    return x\n"
+    assert _codes(source) == []
+
+
+def test_suppression_only_applies_to_named_code_and_line():
+    # Wrong code named: the finding stays.
+    assert _codes("registry = {}  # tango-lint: disable=TNG033\n") == ["TNG041"]
+    # Different line: the finding stays.
+    source = "# tango-lint: disable=TNG041\nregistry = {}\n"
+    assert _codes(source) == ["TNG041"]
+
+
+# -- --format json and exit codes ----------------------------------------------
+def test_main_json_format_emits_machine_readable_report(tmp_path):
+    import json
+
+    bad = tmp_path / "bad.py"
+    bad.write_text("import random\n")
+    out = io.StringIO()
+    assert main([str(tmp_path), "--format", "json"], out=out) == 1
+    payload = json.loads(out.getvalue())
+    assert payload["errors"] == 1
+    assert payload["files"] == 1
+    assert payload["diagnostics"][0]["code"] == "TNG031"
+
+
+def test_main_json_format_on_clean_tree_exits_zero(tmp_path):
+    import json
+
+    (tmp_path / "ok.py").write_text("x = 1\n")
+    out = io.StringIO()
+    assert main([str(tmp_path), "--format", "json"], out=out) == 0
+    payload = json.loads(out.getvalue())
+    assert payload == {
+        "diagnostics": [],
+        "errors": 0,
+        "files": 1,
+        "warnings": 0,
+    }
+
+
+def test_examples_and_benchmarks_pass_the_linter():
+    repo_root = SRC_ROOT.parent.parent
+    report = lint_paths(
+        [str(repo_root / "examples"), str(repo_root / "benchmarks")]
+    )
+    assert report.errors() == []

@@ -1,0 +1,106 @@
+"""Differential test for the TangoDB per-switch secondary index.
+
+The index (added with the fleet engine) must stay byte-identical to the
+linear scan it replaced under any interleaving of ``put`` (insert and
+overwrite) and ``remove`` — the remove path is the one a bug would most
+plausibly desynchronise.  Hypothesis drives random interleavings and
+compares :meth:`records_for_switch`/:meth:`metrics_for_switch` against a
+filter over :meth:`records` (the ground-truth linear scan) after every
+operation.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scores import TangoScoreDatabase
+
+SWITCHES = ("s1", "s2", "s3")
+METRICS = ("size", "latency", "model")
+PARAMS = (None, 1, 2)
+
+_operations = st.lists(
+    st.tuples(
+        st.sampled_from(("put", "remove")),
+        st.sampled_from(SWITCHES),
+        st.sampled_from(METRICS),
+        st.sampled_from(PARAMS),
+        st.integers(min_value=0, max_value=99),
+    ),
+    max_size=60,
+)
+
+
+def _apply(db: TangoScoreDatabase, op) -> None:
+    verb, switch, metric, param, value = op
+    params = {} if param is None else {"k": param}
+    if verb == "put":
+        db.put(switch, metric, value, recorded_at_ms=float(value), **params)
+    else:
+        db.remove(switch, metric, **params)
+
+
+def _scan_signature(db: TangoScoreDatabase, switch: str):
+    """What a linear scan answers: records of one switch, stored order."""
+    return tuple(
+        (record.key, record.value, record.recorded_at_ms, record.source)
+        for record in db.records()
+        if record.key.switch == switch
+    )
+
+
+def _index_signature(db: TangoScoreDatabase, switch: str):
+    return tuple(
+        (record.key, record.value, record.recorded_at_ms, record.source)
+        for record in db.records_for_switch(switch)
+    )
+
+
+@settings(max_examples=120, deadline=None)
+@given(operations=_operations)
+def test_per_switch_index_matches_linear_scan(operations):
+    db = TangoScoreDatabase()
+    for op in operations:
+        _apply(db, op)
+        for switch in SWITCHES:
+            assert _index_signature(db, switch) == _scan_signature(db, switch)
+
+
+@settings(max_examples=60, deadline=None)
+@given(operations=_operations)
+def test_metrics_for_switch_matches_linear_scan(operations):
+    db = TangoScoreDatabase()
+    for op in operations:
+        _apply(db, op)
+    for switch in SWITCHES:
+        expected = sorted(
+            {r.key.metric for r in db.records() if r.key.switch == switch}
+        )
+        assert db.metrics_for_switch(switch) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(operations=_operations)
+def test_switches_listing_matches_linear_scan(operations):
+    db = TangoScoreDatabase()
+    for op in operations:
+        _apply(db, op)
+    assert db.switches() == sorted({r.key.switch for r in db.records()})
+
+
+def test_overwrite_keeps_first_insertion_position():
+    db = TangoScoreDatabase()
+    db.put("s1", "a", 1)
+    db.put("s1", "b", 2)
+    db.put("s1", "a", 3)  # overwrite must not move the record
+    assert [r.value for r in db.records_for_switch("s1")] == [3, 2]
+    assert _index_signature(db, "s1") == _scan_signature(db, "s1")
+
+
+def test_remove_then_reinsert_moves_to_the_back():
+    db = TangoScoreDatabase()
+    db.put("s1", "a", 1)
+    db.put("s1", "b", 2)
+    db.remove("s1", "a")
+    db.put("s1", "a", 3)  # fresh insert after remove: new position
+    assert [r.value for r in db.records_for_switch("s1")] == [2, 3]
+    assert _index_signature(db, "s1") == _scan_signature(db, "s1")
