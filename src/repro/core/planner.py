@@ -1,0 +1,736 @@
+"""Incremental tail-cost planner for the prefix lookahead scheduler.
+
+:class:`TailCostPlanner` replaces the retired recursive planner's
+depth-0 *greedy re-simulation* -- which walked the entire remaining DAG
+once per scheduling round -- with state maintained incrementally on a
+long-lived :class:`~repro.core.requests.ReadySimulation` cursor:
+
+* **Greedy levels.**  With whole-ready-batch (greedy) completion, the
+  k-th greedy batch is exactly the set of pending requests at *level* k,
+  where ``level(v) = 0`` if every dependency of ``v`` is complete and
+  ``1 + max(level(p) for pending deps p)`` otherwise.  The planner keeps
+  per-level per-switch duration sums, each level's makespan (the max
+  over switches), and their total ``tail`` -- the greedy-to-completion
+  estimate.  A depth-0 estimate is therefore O(1), and completing or
+  undoing a request patches the levels in O(out-degree) of the touched
+  region instead of re-walking the DAG.
+* **Persistent ordering.**  Each rewrite pattern induces a *static*
+  total order over all requests (its ``order_key`` plus the request id
+  tiebreak -- the same key the :class:`_OrderingOracle` sorts by).  The
+  ready set is tracked as a Fenwick presence bitset over that order, so
+  ordering a frontier that changed by k requests costs O(k log n)
+  updates instead of a full re-sort, the first j ordered requests
+  materialise in O(j log n), and candidate prefix cuts (positions of
+  ready requests with successors) come from a second bitset in
+  O(log n) each.
+* **Score-dominance pruning.**  Candidate cuts are explored in
+  ascending order while per-switch prefix sums and their running max
+  are extended incrementally; a cut whose prefix makespan already
+  reaches the best complete cost cannot win under the planner's strict
+  ``<`` improvement rule (durations are non-negative), so its subtree
+  is skipped without changing any decision.
+* **Frontier fingerprint + plan memo.**  A Zobrist-style XOR
+  fingerprint over the completed set keys a bounded memo of
+  ``(cost, cut)`` plans, so re-planning an unchanged frontier (e.g.
+  after a round whose requests were all fault-deferred) is O(1).
+
+Decision equivalence: the planner reproduces the retired recursive
+planner's ``(cost, cut)`` decisions bit-for-bit when per-request
+duration estimates are non-negative binary fractions (e.g. multiples of
+0.25, as all shipped workloads use), because every incremental sum is
+then exact.  With arbitrary floats the prefix-cut costs are still exact
+(they accumulate in the reference's own order); only full-batch level
+sums could differ in the last ulp from a fresh summation, which can
+flip a tie between near-equal plans.  The differential suite
+(``tests/test_prefix_planner_differential.py``) pins the equivalence
+against :class:`repro.perf.reference._ReferencePrefixPlanner`.
+
+Determinism: no wall clock, no randomness -- the fingerprint mixer is a
+fixed splitmix64 permutation of request ids, and every iteration runs
+over lists/dicts in deterministic order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.patterns import RewritePattern
+from repro.core.requests import ReadySimulation, SwitchRequest
+
+_MASK64 = (1 << 64) - 1
+
+
+def _mix64(value: int) -> int:
+    """splitmix64 finalizer: a fixed, seedless 64-bit permutation."""
+    z = (value + 0x9E3779B97F4A7C15) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
+
+
+class _PresenceFenwick:
+    """Fenwick-tree bitset over a fixed position space.
+
+    Supports O(log n) membership toggles, prefix counts (the rank of a
+    position among present positions), and k-th-present selection --
+    the three queries the planner's persistent ordering needs.
+    """
+
+    def __init__(self, size: int) -> None:
+        self._size = size
+        self._tree = [0] * (size + 1)
+        self._present = bytearray(size)
+        self.count = 0
+        self._log = size.bit_length()
+
+    def add(self, pos: int) -> None:
+        if self._present[pos]:
+            raise ValueError(f"position {pos} already present")
+        self._present[pos] = 1
+        self.count += 1
+        i = pos + 1
+        tree = self._tree
+        while i <= self._size:
+            tree[i] += 1
+            i += i & (-i)
+
+    def remove(self, pos: int) -> None:
+        if not self._present[pos]:
+            raise ValueError(f"position {pos} not present")
+        self._present[pos] = 0
+        self.count -= 1
+        i = pos + 1
+        tree = self._tree
+        while i <= self._size:
+            tree[i] -= 1
+            i += i & (-i)
+
+    def rank(self, pos: int) -> int:
+        """Number of present positions <= ``pos`` (0-based, inclusive)."""
+        total = 0
+        i = pos + 1
+        tree = self._tree
+        while i > 0:
+            total += tree[i]
+            i -= i & (-i)
+        return total
+
+    def select(self, k: int) -> Optional[int]:
+        """The k-th smallest present position (1-based), or None."""
+        if k < 1 or k > self.count:
+            return None
+        pos = 0
+        remaining = k
+        tree = self._tree
+        step = 1 << self._log
+        while step > 0:
+            nxt = pos + step
+            if nxt <= self._size and tree[nxt] < remaining:
+                pos = nxt
+                remaining -= tree[nxt]
+            step >>= 1
+        return pos  # 0-based position
+
+
+#: Bound on memoized plans; old entries are evicted FIFO.
+_MEMO_LIMIT = 8192
+
+
+class TailCostPlanner:
+    """Incremental prefix-lookahead planner over a completion cursor.
+
+    The planner owns its cursor's planning view: callers complete/undo
+    hypothetical prefixes and commit issued batches *through the
+    planner*, which forwards to the :class:`ReadySimulation` and patches
+    its own level/ordering state in the same pass.
+
+    Args:
+        sim: the long-lived completion cursor (exclusively owned by this
+            planner from here on).
+        estimate: per-request duration estimate in ms (must be
+            non-negative).
+        patterns: rewrite patterns, in oracle order (ties break to the
+            first, matching ``_OrderingOracle``).
+        max_prefixes: candidate prefix cuts evaluated per tree node.
+        oracle: optional ordering oracle whose metric counters attribute
+            this planner's ordering work (duck-typed; only
+            ``note_incremental_order`` is called).
+    """
+
+    def __init__(
+        self,
+        sim: ReadySimulation,
+        estimate,
+        patterns: Sequence[RewritePattern],
+        max_prefixes: int = 4,
+        oracle=None,
+    ) -> None:
+        if not patterns:
+            raise ValueError("need at least one rewrite pattern")
+        self._sim = sim
+        self._dag = sim.dag
+        self._patterns = list(patterns)
+        self._max_prefixes = max_prefixes
+        self._oracle = oracle
+
+        # -- static per-request facts -------------------------------------
+        self._est: Dict[int, float] = {}
+        self._loc: Dict[int, str] = {}
+        self._cmd: Dict[int, object] = {}
+        self._pri: Dict[int, int] = {}
+        self._succ: Dict[int, Tuple[int, ...]] = {}
+        self._pred: Dict[int, Tuple[int, ...]] = {}
+        self._has_succ: Dict[int, bool] = {}
+        dag = self._dag
+        for request in dag.requests:
+            rid = request.request_id
+            value = float(estimate(request))
+            if value < 0.0:
+                raise ValueError(
+                    f"negative duration estimate {value} for request {rid}"
+                )
+            self._est[rid] = value
+            self._loc[rid] = request.location
+            self._cmd[rid] = request.command
+            self._pri[rid] = request.priority
+            succ = tuple(dag.successor_ids(rid))
+            self._succ[rid] = succ
+            self._pred[rid] = tuple(dag.predecessor_ids(rid))
+            self._has_succ[rid] = bool(succ)
+        # One structural O(V + E) pass, charged like a ready rebuild.
+        dag.ops.edge_visits += sum(len(s) for s in self._succ.values())
+
+        # -- greedy levels and tail cost ----------------------------------
+        # level[rid] (pending requests only); per-level per-switch duration
+        # sums + member counts; per-level makespans; their total (tail).
+        # Levels are stored *raw*: true level = raw - self._shift.  When a
+        # complete consumes the entire frontier, every remaining level
+        # drops by exactly one (the longest pending chain to any node
+        # loses exactly its head), so bumping the shift replaces an
+        # O(remaining-DAG) releveling cascade -- which made chain-shaped
+        # DAGs quadratic -- with an O(frontier) wholesale level drop.
+        self._shift = 0
+        self._level: Dict[int, int] = {}
+        self._loads: Dict[int, Dict[str, float]] = {}
+        self._lcounts: Dict[int, Dict[str, int]] = {}
+        self._lmax: Dict[int, float] = {}
+        self._lsize: Dict[int, int] = {}
+        self._lunlock: Dict[int, int] = {}
+        self._tail = 0.0
+        seed_journal: List[tuple] = []
+        for rid in dag.topological_order():
+            if sim.is_completed(rid):
+                continue
+            level = 0
+            for p in self._pred[rid]:
+                dag.ops.edge_visits += 1
+                if sim.is_completed(p):
+                    continue
+                candidate = self._level[p] + 1
+                if candidate > level:
+                    level = candidate
+            self._level[rid] = level
+            self._add_to_level(rid, level, seed_journal)
+        del seed_journal  # construction is the base state; nothing to undo
+
+        # -- ready-set command counts (drives the pattern choice) ---------
+        self._counts: Dict[object, int] = {}
+        ready_count = 0
+        for rid, level in self._level.items():
+            if level == self._shift:
+                cmd = self._cmd[rid]
+                self._counts[cmd] = self._counts.get(cmd, 0) + 1
+                ready_count += 1
+        self._ready_count = ready_count
+
+        # -- persistent pattern ordering (Fenwick bitsets) ----------------
+        # Per-pattern static position maps are built lazily; with the
+        # default pattern set the winner never changes (ASCEND dominates
+        # for any pure-ADD batch), so rebuilds are rare by construction.
+        self._positions: Dict[int, Tuple[Dict[int, int], List[int]]] = {}
+        self._pattern: Optional[RewritePattern] = None
+        self._pos: Dict[int, int] = {}
+        self._by_pos: List[int] = []
+        self._present = _PresenceFenwick(0)
+        self._unlock = _PresenceFenwick(0)
+        self._rebuild_order(self.current_pattern())
+        self.order_rebuilds = 0  # the constructor's build is not a rebuild
+
+        # -- fingerprint + plan memo --------------------------------------
+        self._zobrist: Dict[int, int] = {}
+        self._fingerprint = 0
+        self._memo: Dict[Tuple[int, int, int], Tuple[float, Optional[int]]] = {}
+        self._frames: List[List[tuple]] = []
+
+        # -- stats ---------------------------------------------------------
+        self.plan_calls = 0
+        self.memo_hits = 0
+        self.memo_misses = 0
+        self.dominance_prunes = 0
+        self.realized_levels = 0
+
+    # -- public read API -------------------------------------------------
+    @property
+    def ready_count(self) -> int:
+        return self._ready_count
+
+    @property
+    def fingerprint(self) -> int:
+        """Zobrist XOR over completions applied since construction."""
+        return self._fingerprint
+
+    def current_pattern(self) -> RewritePattern:
+        """The oracle's pattern choice for the current ready set."""
+        counts = self._counts
+        return max(self._patterns, key=lambda p: p.score_counts(counts))
+
+    def head_requests(self, k: int) -> List[SwitchRequest]:
+        """The first ``k`` ready requests in the winning pattern's order."""
+        self._ensure_order()
+        requests = self._dag._requests
+        return [requests[rid] for rid in self._head_ids(k)]
+
+    def stats(self) -> Dict[str, int]:
+        """Planner work counters for bench trajectories."""
+        return {
+            "plan_calls": self.plan_calls,
+            "memo_hits": self.memo_hits,
+            "memo_misses": self.memo_misses,
+            "dominance_prunes": self.dominance_prunes,
+            "order_rebuilds": self.order_rebuilds,
+            "realized_levels": self.realized_levels,
+        }
+
+    # -- cursor movement -------------------------------------------------
+    def complete(self, request_ids: Iterable[int]) -> None:
+        """Hypothetically complete a batch of *ready* requests (undoable).
+
+        Raises:
+            ValueError: a request is not ready, already complete, or
+                duplicated; the planner and cursor are left untouched.
+        """
+        rids = list(request_ids)
+        self._check_ready(rids)
+        self._sim.complete(rids)  # validates duplicates, pushes one frame
+        journal: List[tuple] = []
+        self._apply_complete(rids, journal)
+        self._frames.append(journal)
+
+    def undo(self) -> None:
+        """Revert the most recent :meth:`complete` frame exactly."""
+        journal = self._frames.pop()
+        self._replay_inverse(journal)
+        self._sim.undo()
+
+    def commit(self, request_ids: Iterable[int]) -> None:
+        """Permanently complete issued requests (no undo frame).
+
+        Requests already complete in the cursor are skipped, mirroring
+        :meth:`ReadySimulation.commit`.
+        """
+        rids = [rid for rid in request_ids if not self._sim.is_completed(rid)]
+        self._check_ready(rids)
+        self._sim.commit(rids)
+        discard: List[tuple] = []
+        self._apply_complete(rids, discard)
+
+    # -- planning --------------------------------------------------------
+    def plan(self, depth: int) -> Tuple[float, Optional[int]]:
+        """Best estimated remaining cost and the first-batch cut to take.
+
+        Returns ``(0.0, None)`` on an empty frontier; otherwise the cut
+        is in ``[1, ready_count]``.  Decision-identical to the retired
+        recursive planner (see the module docstring for the float
+        caveat); the cursor is left exactly as found.
+        """
+        self.plan_calls += 1
+        if self._ready_count == 0:
+            return 0.0, None
+        if depth <= 0:
+            # The greedy-to-completion estimate, maintained incrementally:
+            # sum over levels of the level's per-switch-serial makespan.
+            return self._tail, self._ready_count
+        self._ensure_order()
+        key = (self._fingerprint, self._sim.completed_count, depth)
+        memoized = self._memo.get(key)
+        if memoized is not None:
+            self.memo_hits += 1
+            return memoized
+        self.memo_misses += 1
+
+        best_cost = float("inf")
+        best_cut: Optional[int] = None
+        cuts = self._candidate_cuts()
+        if cuts:
+            prefix_ids = self._head_ids(cuts[-1])
+            per_switch: Dict[str, float] = {}
+            run_max = 0.0
+            consumed = 0
+            for cut in cuts:
+                # Extend the per-switch prefix sums in the pattern's own
+                # order -- the identical float-addition sequence the
+                # reference's per-prefix rebuild performs.
+                for rid in prefix_ids[consumed:cut]:
+                    loc = self._loc[rid]
+                    total = per_switch.get(loc, 0.0) + self._est[rid]
+                    per_switch[loc] = total
+                    if total > run_max:
+                        run_max = total
+                consumed = cut
+                if run_max >= best_cost:
+                    # Dominance: rest >= 0, so this cut cannot strictly
+                    # beat the incumbent.  Skipping it is decision-free.
+                    self.dominance_prunes += 1
+                    continue
+                self.complete(prefix_ids[:cut])
+                rest, _ = self.plan(depth - 1)
+                self.undo()
+                cost = run_max + rest
+                if cost < best_cost:
+                    best_cost = cost
+                    best_cut = cut
+        # The full-batch cut: its estimate is level 0's makespan, and the
+        # remainder recurses over whole levels in closed form.
+        full_est = self._lmax.get(self._shift, 0.0)
+        if full_est >= best_cost:
+            self.dominance_prunes += 1
+        else:
+            rest = self._virtual_rest(depth - 1, 1, full_est)
+            cost = full_est + rest
+            if cost < best_cost:
+                best_cost = cost
+                best_cut = self._ready_count
+        if len(self._memo) >= _MEMO_LIMIT:
+            self._memo.pop(next(iter(self._memo)))
+        self._memo[key] = (best_cost, best_cut)
+        return best_cost, best_cut
+
+    def _virtual_rest(self, depth: int, skip: int, consumed: float) -> float:
+        """Remaining cost after hypothetically completing levels < skip.
+
+        Full-batch cuts always complete an entire greedy level, so the
+        recursion usually never needs to touch per-request state: a level
+        with no unlocking members admits no prefix cuts, its batch cost
+        is its stored makespan, and depth exhaustion leaves exactly
+        ``tail - consumed``.  Only a level that *does* contain unlocking
+        members (and remaining depth to explore them) falls back to
+        really completing the skipped levels -- at most ``depth`` of
+        them -- and planning from there.
+        """
+        raw = self._shift + skip
+        if self._lsize.get(raw, 0) == 0:
+            return 0.0
+        if depth <= 0:
+            return self._tail - consumed
+        if self._lunlock.get(raw, 0) == 0:
+            level_max = self._lmax.get(raw, 0.0)
+            return level_max + self._virtual_rest(
+                depth - 1, skip + 1, consumed + level_max
+            )
+        frames = 0
+        for _ in range(skip):
+            self.complete(self._sim.ready_ids())
+            self.realized_levels += 1
+            frames += 1
+        cost, _ = self.plan(depth)
+        for _ in range(frames):
+            self.undo()
+        return cost
+
+    # -- ordering --------------------------------------------------------
+    def _ensure_order(self) -> None:
+        pattern = self.current_pattern()
+        if pattern is not self._pattern:
+            self._rebuild_order(pattern)
+            self.order_rebuilds += 1
+
+    def _rebuild_order(self, pattern: RewritePattern) -> None:
+        """(Re)build the Fenwick bitsets over ``pattern``'s static order."""
+        index = next(i for i, p in enumerate(self._patterns) if p is pattern)
+        cached = self._positions.get(index)
+        if cached is None:
+            order = sorted(
+                self._est,
+                key=lambda rid: pattern.order_key(self._cmd[rid], self._pri[rid])
+                + (rid,),
+            )
+            cached = ({rid: pos for pos, rid in enumerate(order)}, order)
+            self._positions[index] = cached
+        self._pos, self._by_pos = cached
+        size = len(self._by_pos)
+        self._present = _PresenceFenwick(size)
+        self._unlock = _PresenceFenwick(size)
+        frontier = self._shift
+        for rid, level in self._level.items():
+            if level == frontier:
+                pos = self._pos[rid]
+                self._present.add(pos)
+                if self._has_succ[rid]:
+                    self._unlock.add(pos)
+        self._pattern = pattern
+
+    def _head_ids(self, k: int) -> List[int]:
+        """First ``k`` ready request ids in the current pattern order."""
+        select = self._present.select
+        by_pos = self._by_pos
+        out = []
+        for i in range(1, k + 1):
+            pos = select(i)
+            if pos is None:
+                raise ValueError(f"cut {k} exceeds ready count {i - 1}")
+            out.append(by_pos[pos])
+        self._dag.ops.ready_yields += k
+        if self._oracle is not None:
+            self._oracle.note_incremental_order(k)
+        return out
+
+    def _candidate_cuts(self) -> List[int]:
+        """Prefix lengths ending at an unlocking request, ascending.
+
+        Matches the retired planner: a request is *unlocking* when it has
+        successors in the DAG (a static property), and the full-batch cut
+        is excluded.  At most ``max_prefixes`` cuts are returned.
+        """
+        cuts: List[int] = []
+        k = 1
+        while len(cuts) < self._max_prefixes:
+            pos = self._unlock.select(k)
+            if pos is None:
+                break
+            cut = self._present.rank(pos)
+            if cut < self._ready_count:
+                cuts.append(cut)
+            k += 1
+        return cuts
+
+    # -- incremental state maintenance ------------------------------------
+    def _check_ready(self, rids: Sequence[int]) -> None:
+        frontier = self._shift
+        for rid in rids:
+            if self._level.get(rid) != frontier:
+                raise ValueError(f"request {rid} is not ready in the planner")
+
+    def _apply_complete(self, rids: Sequence[int], journal: List[tuple]) -> None:
+        """Patch levels/ordering/tail after the cursor completed ``rids``."""
+        if rids and len(rids) == self._ready_count:
+            self._apply_full_frontier(rids, journal)
+            return
+        sim = self._sim
+        frontier = self._shift
+        stack: List[int] = []
+        for rid in rids:
+            self._remove_from_level(rid, frontier, journal)
+            self._remove_ready(rid, journal)
+            journal.append(("level", rid, frontier))
+            del self._level[rid]
+            self._toggle_fingerprint(rid, journal)
+            for succ in self._succ[rid]:
+                if not sim.is_completed(succ):
+                    stack.append(succ)
+        # Relevel downward: a completed dependency can only lower its
+        # successors' levels, and each drop propagates along out-edges.
+        ops = self._dag.ops
+        while stack:
+            rid = stack.pop()
+            old = self._level.get(rid)
+            if old is None:
+                continue  # completed concurrently within this batch
+            new = frontier
+            for p in self._pred[rid]:
+                ops.edge_visits += 1
+                if sim.is_completed(p):
+                    continue
+                candidate = self._level[p] + 1
+                if candidate > new:
+                    new = candidate
+            if new == old:
+                continue
+            self._remove_from_level(rid, old, journal)
+            self._add_to_level(rid, new, journal)
+            journal.append(("level", rid, old))
+            self._level[rid] = new
+            if old > frontier and new == frontier:
+                self._add_ready(rid, journal)
+            for succ in self._succ[rid]:
+                if succ in self._level:
+                    stack.append(succ)
+
+    def _apply_full_frontier(self, rids: Sequence[int], journal: List[tuple]) -> None:
+        """Whole-frontier completion: drop level 0 and bump the shift.
+
+        After completing *all* ready requests, every remaining pending
+        request's level drops by exactly one (its longest pending
+        dependency chain loses exactly its ready head), so the per-level
+        maps stay valid under ``shift + 1`` -- no releveling cascade.
+        Cost: O(|frontier| + |new frontier|) structure updates.
+        """
+        frontier = self._shift
+        for rid in rids:
+            self._remove_ready(rid, journal)
+            journal.append(("level", rid, frontier))
+            del self._level[rid]
+            self._toggle_fingerprint(rid, journal)
+        journal.append(
+            (
+                "drop_level",
+                frontier,
+                self._loads.pop(frontier, None),
+                self._lcounts.pop(frontier, None),
+                self._lmax.get(frontier),
+                self._lsize.get(frontier, 0),
+                self._lunlock.get(frontier, 0),
+            )
+        )
+        journal.append(("tail", self._tail))
+        self._tail -= self._lmax.get(frontier, 0.0)
+        self._lmax.pop(frontier, None)
+        self._lsize.pop(frontier, None)
+        self._lunlock.pop(frontier, None)
+        journal.append(("shift", frontier))
+        self._shift = frontier + 1
+        # The unlocked requests (the new frontier) join the ready set;
+        # ready_ids() also charges the yields honestly.
+        for rid in self._sim.ready_ids():
+            self._add_ready(rid, journal)
+
+    def _remove_from_level(self, rid: int, level: int, journal: List[tuple]) -> None:
+        loc = self._loc[rid]
+        loads = self._loads[level]
+        counts = self._lcounts[level]
+        old_sum = loads[loc]
+        old_cnt = counts[loc]
+        journal.append(("load", level, loc, old_sum, old_cnt))
+        if old_cnt == 1:
+            # Deleting the emptied cell restores an exact zero, keeping
+            # incremental sums bit-identical to fresh summation for
+            # binary-fraction estimates.
+            del loads[loc]
+            del counts[loc]
+        else:
+            loads[loc] = old_sum - self._est[rid]
+            counts[loc] = old_cnt - 1
+        self._update_level_max(level, journal)
+        journal.append(("lsize", level, self._lsize[level]))
+        self._lsize[level] -= 1
+        if self._has_succ[rid]:
+            journal.append(("lunlock", level, self._lunlock[level]))
+            self._lunlock[level] -= 1
+
+    def _add_to_level(self, rid: int, level: int, journal: List[tuple]) -> None:
+        loads = self._loads.setdefault(level, {})
+        counts = self._lcounts.setdefault(level, {})
+        loc = self._loc[rid]
+        old_sum = loads.get(loc)
+        old_cnt = counts.get(loc)
+        journal.append(("load", level, loc, old_sum, old_cnt))
+        loads[loc] = (old_sum if old_sum is not None else 0.0) + self._est[rid]
+        counts[loc] = (old_cnt if old_cnt is not None else 0) + 1
+        self._update_level_max(level, journal)
+        journal.append(("lsize", level, self._lsize.get(level, 0)))
+        self._lsize[level] = self._lsize.get(level, 0) + 1
+        if self._has_succ[rid]:
+            journal.append(("lunlock", level, self._lunlock.get(level, 0)))
+            self._lunlock[level] = self._lunlock.get(level, 0) + 1
+
+    def _update_level_max(self, level: int, journal: List[tuple]) -> None:
+        old = self._lmax.get(level)
+        journal.append(("lmax", level, old))
+        journal.append(("tail", self._tail))
+        loads = self._loads.get(level)
+        new = max(loads.values()) if loads else 0.0
+        if loads:
+            self._lmax[level] = new
+        else:
+            self._lmax.pop(level, None)
+        self._tail = self._tail - (old if old is not None else 0.0) + new
+
+    def _remove_ready(self, rid: int, journal: List[tuple]) -> None:
+        pos = self._pos[rid]
+        self._present.remove(pos)
+        if self._has_succ[rid]:
+            self._unlock.remove(pos)
+        cmd = self._cmd[rid]
+        self._counts[cmd] = self._counts.get(cmd, 0) - 1
+        self._ready_count -= 1
+        journal.append(("ready_add", rid))
+
+    def _add_ready(self, rid: int, journal: List[tuple]) -> None:
+        pos = self._pos[rid]
+        self._present.add(pos)
+        if self._has_succ[rid]:
+            self._unlock.add(pos)
+        cmd = self._cmd[rid]
+        self._counts[cmd] = self._counts.get(cmd, 0) + 1
+        self._ready_count += 1
+        journal.append(("ready_del", rid))
+
+    def _toggle_fingerprint(self, rid: int, journal: List[tuple]) -> None:
+        z = self._zobrist.get(rid)
+        if z is None:
+            z = _mix64(rid)
+            self._zobrist[rid] = z
+        self._fingerprint ^= z
+        journal.append(("fp", rid))
+
+    def _replay_inverse(self, journal: List[tuple]) -> None:
+        """Apply a frame's journal in reverse, restoring exact old values."""
+        for entry in reversed(journal):
+            kind = entry[0]
+            if kind == "load":
+                _, level, loc, old_sum, old_cnt = entry
+                loads = self._loads.setdefault(level, {})
+                counts = self._lcounts.setdefault(level, {})
+                if old_sum is None:
+                    loads.pop(loc, None)
+                    counts.pop(loc, None)
+                else:
+                    loads[loc] = old_sum
+                    counts[loc] = old_cnt
+            elif kind == "lmax":
+                _, level, old = entry
+                if old is None:
+                    self._lmax.pop(level, None)
+                else:
+                    self._lmax[level] = old
+            elif kind == "tail":
+                self._tail = entry[1]
+            elif kind == "drop_level":
+                _, raw, loads, counts, lmax, lsize, lunlock = entry
+                if loads is not None:
+                    self._loads[raw] = loads
+                if counts is not None:
+                    self._lcounts[raw] = counts
+                if lmax is not None:
+                    self._lmax[raw] = lmax
+                self._lsize[raw] = lsize
+                self._lunlock[raw] = lunlock
+            elif kind == "shift":
+                self._shift = entry[1]
+            elif kind == "lsize":
+                self._lsize[entry[1]] = entry[2]
+            elif kind == "lunlock":
+                self._lunlock[entry[1]] = entry[2]
+            elif kind == "level":
+                self._level[entry[1]] = entry[2]
+            elif kind == "ready_add":
+                rid = entry[1]
+                pos = self._pos[rid]
+                self._present.add(pos)
+                if self._has_succ[rid]:
+                    self._unlock.add(pos)
+                cmd = self._cmd[rid]
+                self._counts[cmd] = self._counts.get(cmd, 0) + 1
+                self._ready_count += 1
+            elif kind == "ready_del":
+                rid = entry[1]
+                pos = self._pos[rid]
+                self._present.remove(pos)
+                if self._has_succ[rid]:
+                    self._unlock.remove(pos)
+                cmd = self._cmd[rid]
+                self._counts[cmd] = self._counts.get(cmd, 0) - 1
+                self._ready_count -= 1
+            elif kind == "fp":
+                self._fingerprint ^= self._zobrist[entry[1]]
+            else:  # pragma: no cover - journal kinds are closed
+                raise AssertionError(f"unknown journal entry {kind!r}")

@@ -198,6 +198,11 @@ class RequestDag:
     def is_done(self) -> bool:
         return len(self._done) == len(self._requests)
 
+    @property
+    def done_ids(self) -> frozenset:
+        """Ids of the requests already marked done (read-only snapshot)."""
+        return frozenset(self._done)
+
     def independent_requests(self) -> List[SwitchRequest]:
         """Pending requests whose dependencies have all completed.
 
@@ -362,6 +367,24 @@ class ReadySimulation:
         # One O(V + E) pass to build the counters; charged to the DAG's
         # op counters like RequestDag._rebuild_ready.
         dag.ops.edge_visits += dag._graph.number_of_edges()
+
+    @property
+    def dag(self) -> RequestDag:
+        """The underlying DAG (read-only; the cursor never mutates it)."""
+        return self._dag
+
+    @property
+    def completed_count(self) -> int:
+        """How many requests are (hypothetically) complete in this cursor."""
+        return len(self._done)
+
+    def is_completed(self, request_id: int) -> bool:
+        """True when ``request_id`` is complete in this cursor's state."""
+        return request_id in self._done
+
+    def pending_predecessors(self, request_id: int) -> int:
+        """Count of the request's dependencies still pending in the cursor."""
+        return self._pending[request_id]
 
     def ready_ids(self) -> List[int]:
         """Ready request ids, in DAG insertion order."""

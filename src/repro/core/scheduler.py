@@ -44,6 +44,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.patterns import RewritePattern, TangoPatternDatabase
+from repro.core.planner import TailCostPlanner
 from repro.core.requests import ReadySimulation, RequestDag, SwitchRequest
 from repro.obs.metrics import MetricsRegistry, NULL_METRICS
 from repro.obs.trace import NULL_TRACER, Tracer
@@ -201,6 +202,12 @@ class _OrderingOracle:
         registry = metrics if metrics is not None else NULL_METRICS
         self._m_calls = registry.counter("scheduler.oracle_calls")
         self._m_scored = registry.counter("scheduler.oracle_requests_scored")
+
+    def note_incremental_order(self, scored: int) -> None:
+        """Attribute ordering work done incrementally on the oracle's
+        behalf (the tail-cost planner materialising ordered prefixes)."""
+        self._m_calls.inc()
+        self._m_scored.inc(scored)
 
     def choose(
         self, requests: Sequence[SwitchRequest]
@@ -520,6 +527,18 @@ class PrefixTangoScheduler(BasicTangoScheduler):
     estimated completion times from a duration estimator built on Tango
     latency curves.
 
+    Planning is incremental (:class:`~repro.core.planner.TailCostPlanner`):
+    one planner lives for the whole schedule, maintaining the
+    greedy-to-completion tail cost, the pattern ordering (Fenwick
+    bitsets), and a frontier-fingerprint plan memo on the long-lived
+    completion cursor, patched in O(out-degree) per issued batch.  The
+    retired recursive planner survives as
+    :class:`repro.perf.reference._ReferencePrefixPlanner`, and the
+    differential suite pins both to identical decisions and schedules.
+
+    After :meth:`schedule` returns, ``last_planner`` exposes the run's
+    planner (memo/pruning/rebuild counters) for bench trajectories.
+
     Args:
         executor: network executor.
         estimate: per-request duration estimate in ms.
@@ -554,6 +573,8 @@ class PrefixTangoScheduler(BasicTangoScheduler):
         self.estimate = estimate
         self.max_prefixes = max_prefixes
         self.lookahead_depth = lookahead_depth
+        #: The planner used by the most recent :meth:`schedule` run.
+        self.last_planner: Optional[TailCostPlanner] = None
 
     def _strict_estimate(self) -> Optional[DurationEstimator]:
         return self.estimate
@@ -580,76 +601,65 @@ class PrefixTangoScheduler(BasicTangoScheduler):
         cuts = sorted(c for c in unlocking if c < len(ordered))
         return cuts[: self.max_prefixes]
 
+    def _make_planner(self, sim: ReadySimulation) -> TailCostPlanner:
+        """An incremental tail-cost planner owning ``sim`` from here on."""
+        return TailCostPlanner(
+            sim,
+            estimate=self.estimate,
+            patterns=self.oracle.patterns,
+            max_prefixes=self.max_prefixes,
+            oracle=self.oracle,
+        )
+
     def _plan(
         self, sim: ReadySimulation, depth: int
     ) -> Tuple[float, Optional[int]]:
         """Best estimated remaining cost and the first-batch cut to take.
 
-        Explores prefix cuts recursively while ``depth`` allows; beyond
-        that, batches greedily to completion (estimation only -- nothing
-        is issued).  ``sim`` is an undoable completion cursor
-        (:meth:`RequestDag.simulation`); every branch is completed then
-        undone in O(batch out-degree), replacing the former per-node
-        frozenset unions and full-DAG ready rescans.
+        One-shot probe: builds a :class:`TailCostPlanner` over ``sim``
+        and plans once, leaving the cursor exactly as found.  The
+        scheduling loop itself keeps a single long-lived planner instead
+        (see :meth:`schedule`), so the per-round cost is the incremental
+        patch, not this O(V + E) construction.
         """
-        dag = sim._dag
-        ready = sim.ready()
-        if not ready:
-            return 0.0, None
-        _, ordered = self.oracle.choose(ready)
+        return self._make_planner(sim).plan(depth)
 
-        if depth <= 0:
-            # Greedy full batches to completion, iteratively (a deep
-            # recursion here would overflow on chain-shaped DAGs).
-            first_cut = len(ordered)
-            total = 0.0
-            frames = 0
-            while ready:
-                total += self._estimate_batch_ms(ordered)
-                sim.complete([r.request_id for r in ordered])
-                frames += 1
-                ready = sim.ready()
-                if ready:
-                    _, ordered = self.oracle.choose(ready)
-            for _ in range(frames):
-                sim.undo()
-            return total, first_cut
+    @staticmethod
+    def _resolve_cut(cut: Optional[int], total: int) -> int:
+        """Batch size from a planner cut: ``None`` means the whole batch.
 
-        best_cost = float("inf")
-        best_cut: Optional[int] = None
-        for cut in self._candidate_cuts(dag, ordered) + [len(ordered)]:
-            prefix = ordered[:cut]
-            sim.complete([r.request_id for r in prefix])
-            rest, _ = self._plan(sim, depth - 1)
-            sim.undo()
-            cost = self._estimate_batch_ms(prefix) + rest
-            if cost < best_cost:
-                best_cost = cost
-                best_cut = cut
-        return best_cost, best_cut
+        A cut of ``0`` is *not* the same as ``None`` -- the planner
+        contract is cut in ``[1, ready_count]`` or ``None`` -- and
+        treating it as falsy would silently issue the full batch.
+        """
+        return total if cut is None else cut
 
     def schedule(self, dag: RequestDag) -> ScheduleResult:
         result = self._begin_schedule(dag)
         finish_times: Dict[int, float] = {}
         makespan = self.executor.epoch_ms
-        # One long-lived lookahead cursor, kept in sync with the issued
-        # requests via commit() -- no per-round O(V + E) rebuilds.  Only
-        # *successfully issued* requests are committed: a fault-deferred
-        # request stays pending in both the DAG and the cursor.
-        sim = dag.simulation(dag._done)
+        # One long-lived planner over one long-lived lookahead cursor,
+        # kept in sync with the issued requests via commit() -- no
+        # per-round O(V + E) rebuilds, re-sorts, or greedy re-walks.
+        # Only *successfully issued* requests are committed: a
+        # fault-deferred request stays pending in the DAG, the cursor,
+        # and the planner's frontier alike.
+        planner = self._make_planner(dag.simulation(dag.done_ids))
+        self.last_planner = planner
         while not dag.is_done():
-            independent = dag.independent_requests()
-            if not independent:
+            if planner.ready_count == 0:
                 raise RuntimeError("DAG not done but no independent requests")
-            pattern, ordered = self.oracle.choose(independent)
+            pattern = planner.current_pattern()
 
-            _, cut = self._plan(sim, self.lookahead_depth)
-            issue_now = ordered[: cut if cut else len(ordered)]
+            _, cut = planner.plan(self.lookahead_depth)
+            issue_now = planner.head_requests(
+                self._resolve_cut(cut, planner.ready_count)
+            )
 
             result.pattern_choices.append(pattern.name)
             span = self._open_batch_span(pattern.name, issue_now, result.rounds)
             if self.tracer.enabled:
-                span.set(ready=len(ordered), cut=len(issue_now))
+                span.set(ready=planner.ready_count, cut=len(issue_now))
             batch_start = len(result.records)
             batch_start_ms = self.executor.now_ms() if self.tracer.enabled else 0.0
             issued: List[SwitchRequest] = []
@@ -666,7 +676,7 @@ class PrefixTangoScheduler(BasicTangoScheduler):
             )
             self._m_batches.inc()
             self._m_requests.inc(len(issue_now))
-            sim.commit(r.request_id for r in issued)
+            planner.commit(r.request_id for r in issued)
             result.rounds += 1
         return self._finalize_schedule(result, makespan)
 

@@ -25,6 +25,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.perf.harness import (
+    CASE_NAMES,
     baseline_from_records,
     compare_to_baseline,
     records_to_report,
@@ -69,6 +70,14 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="skip the slow pre-optimization reference arms",
     )
+    parser.add_argument(
+        "--cases",
+        nargs="+",
+        default=None,
+        choices=sorted(CASE_NAMES),
+        metavar="CASE",
+        help=f"run only these cases (default: all of {sorted(CASE_NAMES)})",
+    )
 
 
 def _fmt_speedup(value) -> str:
@@ -96,7 +105,10 @@ def _print_table(records, out) -> None:
 
 def run_bench(args, out) -> int:
     records = run_suite(
-        sizes=args.sizes, quick=args.quick, with_reference=not args.no_reference
+        sizes=args.sizes,
+        quick=args.quick,
+        with_reference=not args.no_reference,
+        cases=args.cases,
     )
 
     baseline_path = Path(args.baseline)

@@ -27,8 +27,14 @@ Cases (``n`` is the suite size knob):
 * ``descending_shifts``  -- n rule installs at descending priority
   through the shift model (every add shifts all residents).
 * ``prefix_lookahead``   -- Prefix scheduler (depth 2) on the two-switch
-  unlock workload; trajectory-only (the pre-PR frozenset-copying planner
-  is the regression this guards against, not a runnable arm).
+  unlock workload.  The optimized arm is the incremental
+  :class:`repro.core.planner.TailCostPlanner`; the reference arm is the
+  retired recursive planner
+  (:class:`repro.perf.reference.ReferencePrefixTangoScheduler`, capped
+  at :data:`repro.perf.reference.PREFIX_REFERENCE_CAP` requests since it
+  is ~O(n^2)).  Identity here is the strictest in the suite: the full
+  per-request issue record list must match byte-for-byte, not just the
+  summary signature.
 * ``faulted_schedule``   -- the layered workload under a seeded fault
   plan (5% control loss + one early disconnect window); trajectory-only.
   Gates the cost of fault-deferral bookkeeping: re-enqueued requests
@@ -40,7 +46,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.scheduler import BasicTangoScheduler, PrefixTangoScheduler
 from repro.faults import (
@@ -51,7 +57,12 @@ from repro.faults import (
 )
 from repro.obs.metrics import MetricsRegistry
 from repro.core.fleet import FleetInferenceEngine, build_fleet
-from repro.perf.reference import ReferenceBasicTangoScheduler, SortedListShiftModel
+from repro.perf.reference import (
+    PREFIX_REFERENCE_CAP,
+    ReferenceBasicTangoScheduler,
+    ReferencePrefixTangoScheduler,
+    SortedListShiftModel,
+)
 from repro.perf.workloads import (
     FLEET_BENCH_KNOBS,
     UNLOCK_ESTIMATES,
@@ -74,10 +85,6 @@ QUICK_SIZES: Tuple[int, ...] = (1000,)
 
 #: The quadratic reference arms are not run beyond this size.
 REFERENCE_CAP = 5000
-
-#: The lookahead case explores a scheduling tree (superlinear in the
-#: request count by design); cap its size to keep full runs fast.
-LOOKAHEAD_CAP = 2000
 
 
 @dataclass
@@ -192,29 +199,52 @@ def bench_descending_shifts(n: int, with_reference: bool = True) -> BenchRecord:
     return record
 
 
+def _record_signature(result) -> Tuple:
+    """Byte-comparable digest of every issue record in a schedule."""
+    return tuple(
+        (record.request.request_id, record.started_ms, record.finished_ms)
+        for record in result.records
+    )
+
+
+def _unlock_estimate(request) -> float:
+    return UNLOCK_ESTIMATES[request.location]
+
+
 def bench_prefix_lookahead(n: int, with_reference: bool = True) -> BenchRecord:
-    del with_reference  # trajectory-only; no runnable pre-PR arm
-    size = min(n, LOOKAHEAD_CAP)
-    dag = unlock_groups_dag(size)
+    dag = unlock_groups_dag(n)
     dag.ops.clear()
     registry = MetricsRegistry()
     scheduler = PrefixTangoScheduler(
         fast_executor("a", "b"),
-        estimate=lambda request: UNLOCK_ESTIMATES[request.location],
+        estimate=_unlock_estimate,
         lookahead_depth=2,
         metrics=registry,
     )
     wall_ms, result = _timed(lambda: scheduler.schedule(dag))
     record = BenchRecord(
-        case="prefix_lookahead", n=size, wall_ms=wall_ms, ops=dag.ops.total()
+        case="prefix_lookahead", n=n, wall_ms=wall_ms, ops=dag.ops.total()
     )
+    planner = scheduler.last_planner
     record.detail = {
         "makespan_ms": result.makespan_ms,
         "rounds": result.rounds,
-        "oracle_cache_hits": scheduler.oracle.cache_hits,
-        "oracle_cache_misses": scheduler.oracle.cache_misses,
+        "planner": planner.stats() if planner is not None else {},
         "attribution": registry.snapshot(),
     }
+    if with_reference and n <= PREFIX_REFERENCE_CAP:
+        ref_dag = unlock_groups_dag(n)
+        ref_dag.ops.clear()
+        reference = ReferencePrefixTangoScheduler(
+            fast_executor("a", "b"),
+            estimate=_unlock_estimate,
+            lookahead_depth=2,
+        )
+        ref_wall_ms, ref_result = _timed(lambda: reference.schedule(ref_dag))
+        _with_reference(record, ref_wall_ms, ref_dag.ops.total())
+        record.identical = _schedule_signature(result) == _schedule_signature(
+            ref_result
+        ) and _record_signature(result) == _record_signature(ref_result)
     return record
 
 
@@ -301,6 +331,16 @@ _CASES = (
     bench_fleet_infer,
 )
 
+#: Case-name -> bench function, for ``run_suite(cases=...)`` / ``--cases``.
+CASE_NAMES: Dict[str, Callable[..., BenchRecord]] = {
+    "chain_schedule": bench_chain_schedule,
+    "layered_schedule": bench_layered_schedule,
+    "descending_shifts": bench_descending_shifts,
+    "prefix_lookahead": bench_prefix_lookahead,
+    "faulted_schedule": bench_faulted_schedule,
+    "fleet_infer": bench_fleet_infer,
+}
+
 
 def _fleet_signature(result) -> Tuple:
     """Byte-comparable digest of a fleet run (models, timing, ops)."""
@@ -337,10 +377,12 @@ def verify_noop_instrumentation(n: int = 1000) -> Dict[str, object]:
 
     Runs the layered case twice -- bare, then with a live tracer and
     metrics registry -- and requires identical schedule signatures and
-    DAG op counts; then does the same with a small concurrent fleet
-    inference run (identical models, member timelines, and probe op
-    counts).  Raises :class:`AssertionError` on any divergence; returns
-    the comparison payload for reporting.
+    DAG op counts; does the same for the prefix scheduler's incremental
+    planner on the unlock workload (full per-record identity, since the
+    planner is the hot path this suite guards); then the same with a
+    small concurrent fleet inference run (identical models, member
+    timelines, and probe op counts).  Raises :class:`AssertionError` on
+    any divergence; returns the comparison payload for reporting.
     """
     from repro.obs.trace import Tracer
 
@@ -356,6 +398,24 @@ def verify_noop_instrumentation(n: int = 1000) -> Dict[str, object]:
     )
     traced = scheduler.schedule(traced_dag)
 
+    prefix_n = min(n, 240)
+    prefix_bare_dag = unlock_groups_dag(prefix_n)
+    prefix_bare_dag.ops.clear()
+    prefix_bare = PrefixTangoScheduler(
+        fast_executor("a", "b"), estimate=_unlock_estimate, lookahead_depth=2
+    ).schedule(prefix_bare_dag)
+
+    prefix_traced_dag = unlock_groups_dag(prefix_n)
+    prefix_traced_dag.ops.clear()
+    prefix_tracer = Tracer()
+    prefix_traced = PrefixTangoScheduler(
+        fast_executor("a", "b"),
+        estimate=_unlock_estimate,
+        lookahead_depth=2,
+        tracer=prefix_tracer,
+        metrics=MetricsRegistry(),
+    ).schedule(prefix_traced_dag)
+
     bare_fleet = _noop_fleet_run(tracer=None, metrics=None)
     fleet_tracer = Tracer()
     traced_fleet = _noop_fleet_run(tracer=fleet_tracer, metrics=MetricsRegistry())
@@ -365,6 +425,13 @@ def verify_noop_instrumentation(n: int = 1000) -> Dict[str, object]:
         "traced_ops": traced_dag.ops.total(),
         "signatures_equal": _schedule_signature(bare) == _schedule_signature(traced),
         "trace_events": len(tracer),
+        "prefix_bare_ops": prefix_bare_dag.ops.total(),
+        "prefix_traced_ops": prefix_traced_dag.ops.total(),
+        "prefix_signatures_equal": (
+            _schedule_signature(prefix_bare) == _schedule_signature(prefix_traced)
+            and _record_signature(prefix_bare) == _record_signature(prefix_traced)
+        ),
+        "prefix_trace_events": len(prefix_tracer),
         "fleet_bare_ops": bare_fleet.probe_ops,
         "fleet_traced_ops": traced_fleet.probe_ops,
         "fleet_signatures_equal": (
@@ -374,6 +441,11 @@ def verify_noop_instrumentation(n: int = 1000) -> Dict[str, object]:
     }
     if payload["bare_ops"] != payload["traced_ops"] or not payload["signatures_equal"]:
         raise AssertionError(f"telemetry changed scheduler work: {payload}")
+    if (
+        payload["prefix_bare_ops"] != payload["prefix_traced_ops"]
+        or not payload["prefix_signatures_equal"]
+    ):
+        raise AssertionError(f"telemetry changed prefix planner work: {payload}")
     if (
         payload["fleet_bare_ops"] != payload["fleet_traced_ops"]
         or not payload["fleet_signatures_equal"]
@@ -386,10 +458,24 @@ def run_suite(
     sizes: Optional[Sequence[int]] = None,
     quick: bool = False,
     with_reference: bool = True,
+    cases: Optional[Sequence[str]] = None,
 ) -> List[BenchRecord]:
-    """Run every case at every size; dedupe (case, n) collisions."""
+    """Run the selected cases at every size; dedupe (case, n) collisions.
+
+    ``cases`` filters by name (see :data:`CASE_NAMES`); ``None`` runs
+    them all.  Unknown names raise :class:`ValueError`.
+    """
     if sizes is None:
         sizes = QUICK_SIZES if quick else FULL_SIZES
+    if cases is None:
+        selected = list(_CASES)
+    else:
+        unknown = [name for name in cases if name not in CASE_NAMES]
+        if unknown:
+            raise ValueError(
+                f"unknown bench cases {unknown}; known: {sorted(CASE_NAMES)}"
+            )
+        selected = [CASE_NAMES[name] for name in cases]
     # Telemetry must be free: a tracer/metrics attach that altered the
     # deterministic op counts would also poison the regression gate below.
     verify_noop_instrumentation()
@@ -399,10 +485,10 @@ def run_suite(
     records: List[BenchRecord] = []
     seen = set()
     for n in sizes:
-        for case in _CASES:
+        for case in selected:
             record = case(n, with_reference=with_reference)
             if record.key in seen:
-                continue  # e.g. prefix_lookahead capped to the same size
+                continue  # e.g. fleet_infer capped to the same size
             seen.add(record.key)
             records.append(record)
     return records
@@ -459,12 +545,35 @@ def records_to_report(
 ) -> Dict[str, object]:
     """The ``BENCH_scheduler.json`` document."""
     mismatched = [r.key for r in records if r.identical is False]
+    wall_clock = {
+        "gated": False,
+        "note": (
+            "wall-clock trajectories are informational only; the gate "
+            "compares deterministic op counts, which cannot flake with "
+            "machine load"
+        ),
+        "total_wall_ms": round(sum(r.wall_ms for r in records), 3),
+        "per_case": [
+            {
+                "key": r.key,
+                "wall_ms": round(r.wall_ms, 3),
+                "ref_wall_ms": (
+                    round(r.ref_wall_ms, 3) if r.ref_wall_ms is not None else None
+                ),
+                "speedup_wall": (
+                    round(r.speedup_wall, 3) if r.speedup_wall is not None else None
+                ),
+            }
+            for r in records
+        ],
+    }
     return {
         "suite": "scheduler-hot-paths",
         "quick": quick,
         "threshold": REGRESSION_THRESHOLD,
         "baseline_path": baseline_path,
         "results": [asdict(record) for record in records],
+        "wall_clock": wall_clock,
         "regressions": list(regressions),
         "mismatched": mismatched,
         "ok": not regressions and not mismatched,

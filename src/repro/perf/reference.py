@@ -10,6 +10,15 @@ asserts the results are bit-for-bit identical.
   per-round full rescan: every round walks all V requests and their
   in-edges to recover the independent set, making chain-shaped DAGs
   O(V * (V + E)).
+* :class:`_ReferencePrefixPlanner` /
+  :class:`ReferencePrefixTangoScheduler` -- the retired recursive
+  prefix planner, whose depth-0 estimate greedily re-simulates the
+  *entire remaining DAG* per plan node (and whose scheduling loop
+  re-derives and re-sorts the full ready set every round), making the
+  unlock workload ~O(n^2).  The incremental
+  :class:`~repro.core.planner.TailCostPlanner` replaced it; the
+  differential suite pins both to byte-identical decisions and
+  schedules.
 * :class:`SortedListShiftModel` (re-exported from
   :mod:`repro.tables.tcam`) -- the O(n)-per-op priority-sorted list the
   Fenwick tree replaced.
@@ -17,17 +26,26 @@ asserts the results are bit-for-bit identical.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import Dict, List, Optional, Set, Tuple
 
-from repro.core.requests import RequestDag, SwitchRequest
+from repro.core.requests import ReadySimulation, RequestDag, SwitchRequest
 from repro.core.scheduler import (
     BasicTangoScheduler,
+    PrefixTangoScheduler,
     ScheduleResult,
     _count_deadline_misses,
 )
 from repro.tables.tcam import SortedListShiftModel
 
-__all__ = ["ReferenceBasicTangoScheduler", "SortedListShiftModel"]
+__all__ = [
+    "ReferenceBasicTangoScheduler",
+    "ReferencePrefixTangoScheduler",
+    "_ReferencePrefixPlanner",
+    "SortedListShiftModel",
+]
+
+#: The quadratic reference prefix arm is not run beyond this size.
+PREFIX_REFERENCE_CAP = 2000
 
 
 class ReferenceBasicTangoScheduler(BasicTangoScheduler):
@@ -90,3 +108,114 @@ class ReferenceBasicTangoScheduler(BasicTangoScheduler):
             result.records, self.executor.epoch_ms
         )
         return result
+
+
+class _ReferencePrefixPlanner:
+    """The retired recursive prefix planner (pre tail-cost-cache).
+
+    Kept verbatim as the differential oracle, mirroring the
+    ``SortedListShiftModel`` pattern: its depth-0 branch batches
+    greedily to completion by *walking the whole remaining DAG* --
+    re-deriving and re-sorting every successive ready set -- once per
+    plan node, and its depth>0 branch rebuilds per-prefix makespan
+    estimates from scratch for every candidate cut.
+    """
+
+    def __init__(self, scheduler: "PrefixTangoScheduler") -> None:
+        self._scheduler = scheduler
+
+    def plan(
+        self, sim: ReadySimulation, depth: int
+    ) -> Tuple[float, Optional[int]]:
+        scheduler = self._scheduler
+        dag = sim.dag
+        ready = sim.ready()
+        if not ready:
+            return 0.0, None
+        _, ordered = scheduler.oracle.choose(ready)
+
+        if depth <= 0:
+            # Greedy full batches to completion, iteratively (a deep
+            # recursion here would overflow on chain-shaped DAGs).
+            first_cut = len(ordered)
+            total = 0.0
+            frames = 0
+            while ready:
+                total += scheduler._estimate_batch_ms(ordered)
+                sim.complete([r.request_id for r in ordered])
+                frames += 1
+                ready = sim.ready()
+                if ready:
+                    _, ordered = scheduler.oracle.choose(ready)
+            for _ in range(frames):
+                sim.undo()
+            return total, first_cut
+
+        best_cost = float("inf")
+        best_cut: Optional[int] = None
+        for cut in scheduler._candidate_cuts(dag, ordered) + [len(ordered)]:
+            prefix = ordered[:cut]
+            sim.complete([r.request_id for r in prefix])
+            rest, _ = self.plan(sim, depth - 1)
+            sim.undo()
+            cost = scheduler._estimate_batch_ms(prefix) + rest
+            if cost < best_cost:
+                best_cost = cost
+                best_cut = cut
+        return best_cost, best_cut
+
+
+class ReferencePrefixTangoScheduler(PrefixTangoScheduler):
+    """Prefix scheduling with the retired recursive planner.
+
+    Identical schedules (issue order, timings, rounds, pattern choices)
+    to :class:`~repro.core.scheduler.PrefixTangoScheduler`; only the
+    planning machinery differs.  The scheduling loop is the retired
+    one too: every round pays a full ``independent_requests`` +
+    ``oracle.choose`` pass on top of the planner's greedy re-walks, so
+    ``dag.ops`` counts the quadratic work the incremental planner
+    eliminated.
+    """
+
+    def _plan(
+        self, sim: ReadySimulation, depth: int
+    ) -> Tuple[float, Optional[int]]:
+        return _ReferencePrefixPlanner(self).plan(sim, depth)
+
+    def schedule(self, dag: RequestDag) -> ScheduleResult:
+        result = self._begin_schedule(dag)
+        finish_times: Dict[int, float] = {}
+        makespan = self.executor.epoch_ms
+        sim = dag.simulation(dag.done_ids)
+        while not dag.is_done():
+            independent = dag.independent_requests()
+            if not independent:
+                raise RuntimeError("DAG not done but no independent requests")
+            pattern, ordered = self.oracle.choose(independent)
+
+            _, cut = self._plan(sim, self.lookahead_depth)
+            issue_now = ordered[: self._resolve_cut(cut, len(ordered))]
+
+            result.pattern_choices.append(pattern.name)
+            span = self._open_batch_span(pattern.name, issue_now, result.rounds)
+            if self.tracer.enabled:
+                span.set(ready=len(ordered), cut=len(issue_now))
+            batch_start = len(result.records)
+            batch_start_ms = self.executor.now_ms() if self.tracer.enabled else 0.0
+            issued: List[SwitchRequest] = []
+            for request in issue_now:
+                dep_finish = self._dep_finish(dag, request, finish_times)
+                record = self._issue_or_defer(
+                    dag, request, dep_finish, finish_times, result
+                )
+                if record is not None:
+                    issued.append(request)
+                    makespan = max(makespan, record.finished_ms)
+            self._close_batch_span(
+                span, batch_start_ms, result.records[batch_start:]
+            )
+            self._m_batches.inc()
+            self._m_requests.inc(len(issue_now))
+            sim.commit(r.request_id for r in issued)
+            result.rounds += 1
+        return self._finalize_schedule(result, makespan)

@@ -81,11 +81,22 @@ def test_shift_case_counts_quadratic_reference_work():
     assert record.speedup_ops > 1.0
 
 
-def test_lookahead_case_is_trajectory_only():
+def test_lookahead_case_verifies_reference_identity():
     record = _lookahead_case(60)
-    assert record.ref_ops is None and record.identical is None
+    assert record.identical is True  # full per-record byte identity
     assert record.ops > 0
-    assert record.detail["oracle_cache_hits"] > 0  # memoization exercised
+    assert record.ref_ops > record.ops  # retired planner re-walks the DAG
+    planner = record.detail["planner"]
+    assert planner["plan_calls"] > 0
+    assert {"memo_hits", "memo_misses", "dominance_prunes"} <= set(planner)
+
+
+def test_lookahead_reference_arm_respects_cap():
+    from repro.perf.reference import PREFIX_REFERENCE_CAP
+
+    record = _lookahead_case(PREFIX_REFERENCE_CAP + 1, with_reference=True)
+    assert record.ref_ops is None and record.identical is None
+    assert record.n == PREFIX_REFERENCE_CAP + 1  # no longer size-capped
 
 
 def test_run_suite_quick_sizes_and_keys():
@@ -136,6 +147,21 @@ def test_report_document_shape():
     assert report["suite"] == "scheduler-hot-paths"
     assert len(report["results"]) == 6
     assert {"case", "n", "wall_ms", "ops"} <= set(report["results"][0])
+    # Wall-clock trajectories ride along but never gate.
+    wall = report["wall_clock"]
+    assert wall["gated"] is False
+    assert wall["total_wall_ms"] > 0
+    assert len(wall["per_case"]) == len(records)
+    assert {"key", "wall_ms", "ref_wall_ms", "speedup_wall"} <= set(
+        wall["per_case"][0]
+    )
+
+
+def test_run_suite_cases_filter():
+    records = run_suite(sizes=[40], with_reference=False, cases=["prefix_lookahead"])
+    assert [record.case for record in records] == ["prefix_lookahead"]
+    with pytest.raises(ValueError, match="unknown bench cases"):
+        run_suite(sizes=[40], cases=["no_such_case"])
 
 
 # -- CLI ----------------------------------------------------------------------
@@ -189,6 +215,18 @@ def test_cli_missing_baseline_skips_gate(tmp_path):
     )
     assert code == 0
     assert "regression gate skipped" in text
+
+
+def test_cli_cases_filter_runs_selected_case_only(tmp_path):
+    output = tmp_path / "BENCH_prefix_scaling.json"
+    code, text = _run_cli(
+        ["--cases", "prefix_lookahead", "--sizes", "40",
+         "--baseline", str(tmp_path / "absent.json"),
+         "--output", str(output), "--no-reference"]
+    )
+    assert code == 0
+    report = json.loads(output.read_text())
+    assert [r["case"] for r in report["results"]] == ["prefix_lookahead"]
 
 
 def test_checked_in_baseline_covers_quick_sizes():
@@ -254,6 +292,11 @@ def test_verify_noop_instrumentation_passes():
     assert payload["bare_ops"] == payload["traced_ops"] > 0
     assert payload["signatures_equal"] is True
     assert payload["trace_events"] > 0
+    # The prefix-planner arm: tracing/metrics on the incremental planner
+    # must not change a single op or issue record.
+    assert payload["prefix_bare_ops"] == payload["prefix_traced_ops"] > 0
+    assert payload["prefix_signatures_equal"] is True
+    assert payload["prefix_trace_events"] > 0
     # The fleet arm of the check: telemetry must not change fleet probe
     # work either (ops, models, virtual timings).
     assert payload["fleet_bare_ops"] == payload["fleet_traced_ops"] > 0

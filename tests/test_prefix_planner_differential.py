@@ -1,0 +1,226 @@
+"""Differential tests: incremental TailCostPlanner vs the retired planner.
+
+The optimized prefix scheduler must be *indistinguishable* from the
+retired recursive planner it replaced -- same ``(cost, cut)`` planning
+decisions and byte-identical schedules (issue order, per-request
+timings, rounds, pattern choices) -- on random DAGs, under fault
+injection, and with tracing attached.  Estimates are kept dyadic
+(multiples of 0.25) so incremental float sums are bit-exact against the
+reference's from-scratch sums.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.planner import TailCostPlanner
+from repro.core.requests import RequestDag
+from repro.core.scheduler import PrefixTangoScheduler
+from repro.faults import DisconnectWindow, FaultInjector, FaultPlan
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+from repro.openflow.match import IpPrefix, Match
+from repro.openflow.messages import FlowModCommand
+from repro.perf.reference import ReferencePrefixTangoScheduler
+from repro.perf.workloads import (
+    UNLOCK_ESTIMATES,
+    chain_dag,
+    fast_executor,
+    layered_dag,
+    unlock_groups_dag,
+)
+
+COMMANDS = (FlowModCommand.ADD, FlowModCommand.MODIFY, FlowModCommand.DELETE)
+LOCATIONS = ("a", "b", "c")
+
+
+def _match(i):
+    return Match(eth_type=0x0800, ip_dst=IpPrefix(i, 32))
+
+
+@st.composite
+def dag_specs(draw):
+    """A random DAG spec: requests, forward-only edges, dyadic estimates."""
+    n = draw(st.integers(min_value=1, max_value=32))
+    n_switches = draw(st.integers(min_value=1, max_value=3))
+    requests = [
+        (
+            draw(st.integers(0, n_switches - 1)),
+            draw(st.sampled_from(COMMANDS)),
+            draw(st.integers(1, 8)),
+        )
+        for _ in range(n)
+    ]
+    raw_edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            max_size=2 * n,
+        )
+    )
+    edges = sorted({(a, b) for a, b in raw_edges if a < b})
+    # Per-switch estimates in {0.25, 0.5, ..., 4.0}: dyadic, non-negative.
+    estimates = {
+        LOCATIONS[i]: draw(st.integers(1, 16)) * 0.25 for i in range(n_switches)
+    }
+    depth = draw(st.integers(1, 3))
+    return requests, edges, estimates, depth
+
+
+def _build_dag(requests, edges):
+    dag = RequestDag()
+    built = []
+    for i, (loc, command, priority) in enumerate(requests):
+        built.append(
+            dag.new_request(LOCATIONS[loc], command, _match(i), priority=priority)
+        )
+    for a, b in edges:
+        dag.add_dependency(built[a], built[b], check_cycle=False)
+    dag.validate_acyclic()
+    return dag
+
+
+def _schedulers(estimates, depth, scheduler_cls=PrefixTangoScheduler, **kwargs):
+    return scheduler_cls(
+        fast_executor(*sorted(estimates)),
+        estimate=lambda request: estimates[request.location],
+        lookahead_depth=depth,
+        **kwargs,
+    )
+
+
+def _signature(result):
+    return (
+        result.makespan_ms,
+        result.rounds,
+        tuple(result.pattern_choices),
+        result.deadline_misses,
+        result.fault_retries,
+        tuple(sorted(result.faulted_request_ids)),
+        tuple(
+            (r.request.request_id, r.started_ms, r.finished_ms)
+            for r in result.records
+        ),
+    )
+
+
+# -- hypothesis differentials -------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(dag_specs())
+def test_random_dags_schedule_byte_identical(spec):
+    requests, edges, estimates, depth = spec
+    new = _schedulers(estimates, depth).schedule(_build_dag(requests, edges))
+    ref = _schedulers(
+        estimates, depth, scheduler_cls=ReferencePrefixTangoScheduler
+    ).schedule(_build_dag(requests, edges))
+    assert _signature(new) == _signature(ref)
+
+
+@settings(max_examples=60, deadline=None)
+@given(dag_specs())
+def test_random_dags_plan_decisions_identical(spec):
+    """(cost, cut) agree at every depth, including the depth-0 estimate."""
+    requests, edges, estimates, depth = spec
+    dag = _build_dag(requests, edges)
+    new_scheduler = _schedulers(estimates, depth)
+    ref_scheduler = _schedulers(
+        estimates, depth, scheduler_cls=ReferencePrefixTangoScheduler
+    )
+    for probe_depth in range(depth + 1):
+        new_cost, new_cut = new_scheduler._plan(dag.simulation(), probe_depth)
+        ref_cost, ref_cut = ref_scheduler._plan(dag.simulation(), probe_depth)
+        assert (new_cost, new_cut) == (ref_cost, ref_cut)
+
+
+@settings(max_examples=25, deadline=None)
+@given(dag_specs(), st.integers(min_value=0, max_value=2**31 - 1))
+def test_random_dags_identical_under_fault_injection(spec, seed):
+    requests, edges, estimates, depth = spec
+    plan = FaultPlan(
+        seed=seed,
+        loss_probability=0.15,
+        disconnects=(DisconnectWindow(start_ms=0.5, reconnect_at_ms=2.0),),
+    )
+
+    def run(scheduler_cls):
+        scheduler = _schedulers(
+            {k: v for k, v in estimates.items()},
+            depth,
+            scheduler_cls=scheduler_cls,
+        )
+        scheduler.executor = fast_executor(
+            *sorted(estimates), fault_injector=FaultInjector(plan)
+        )
+        return scheduler.schedule(_build_dag(requests, edges))
+
+    assert _signature(run(PrefixTangoScheduler)) == _signature(
+        run(ReferencePrefixTangoScheduler)
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(dag_specs())
+def test_random_dags_identical_with_tracing_enabled(spec):
+    requests, edges, estimates, depth = spec
+    tracer = Tracer()
+    traced = _schedulers(
+        estimates, depth, tracer=tracer, metrics=MetricsRegistry()
+    ).schedule(_build_dag(requests, edges))
+    ref = _schedulers(
+        estimates, depth, scheduler_cls=ReferencePrefixTangoScheduler
+    ).schedule(_build_dag(requests, edges))
+    assert _signature(traced) == _signature(ref)
+    assert len(tracer) > 0
+
+
+# -- deterministic workload differentials -------------------------------------
+
+
+def _unlock_estimate(request):
+    return UNLOCK_ESTIMATES[request.location]
+
+
+def test_bench_workloads_schedule_byte_identical():
+    cases = [
+        (unlock_groups_dag, 95, ("a", "b"), _unlock_estimate),
+        (chain_dag, 120, ("sw",), lambda request: 1.0),
+        (layered_dag, 150, ("sw",), lambda request: 1.0),
+    ]
+    for build, n, locations, estimate in cases:
+        new = PrefixTangoScheduler(
+            fast_executor(*locations), estimate=estimate, lookahead_depth=2
+        ).schedule(build(n))
+        ref = ReferencePrefixTangoScheduler(
+            fast_executor(*locations), estimate=estimate, lookahead_depth=2
+        ).schedule(build(n))
+        assert _signature(new) == _signature(ref), build.__name__
+
+
+def test_planner_restores_cursor_and_reports_stats():
+    dag = unlock_groups_dag(60)
+    sim = dag.simulation()
+    planner = TailCostPlanner(
+        sim,
+        estimate=_unlock_estimate,
+        patterns=PrefixTangoScheduler(
+            fast_executor("a", "b"), estimate=_unlock_estimate
+        ).oracle.patterns,
+    )
+    before = sim.ready_ids()
+    planner.plan(3)
+    assert sim.ready_ids() == before
+    stats = planner.stats()
+    assert stats["plan_calls"] > 0
+    assert stats["memo_misses"] >= 1
+
+
+# -- the falsy-cut regression -------------------------------------------------
+
+
+def test_resolve_cut_distinguishes_zero_from_none():
+    """The retired expression ``cut if cut else len(ordered)`` promoted a
+    cut of 0 to the full batch; the fix must keep 0 meaning zero and map
+    only None (no plan) to the full batch."""
+    assert PrefixTangoScheduler._resolve_cut(0, 7) == 0
+    assert PrefixTangoScheduler._resolve_cut(None, 7) == 7
+    assert PrefixTangoScheduler._resolve_cut(3, 7) == 3

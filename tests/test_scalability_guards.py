@@ -116,6 +116,18 @@ def test_chain_schedule_does_linear_dag_work():
     assert dag.ops.total() <= 2 * (n + (n - 1))
 
 
+def test_prefix_lookahead_op_growth_is_subquadratic():
+    """The incremental tail-cost planner must keep the unlock workload's
+    op growth near-linear: doubling n from 1000 to 2000 may grow ops by
+    at most 2.5x (the retired recursive planner's ratio was ~3.9x)."""
+    from repro.perf.harness import bench_prefix_lookahead
+
+    small = bench_prefix_lookahead(1000, with_reference=False)
+    large = bench_prefix_lookahead(2000, with_reference=False)
+    assert small.ops > 0
+    assert large.ops / small.ops < 2.5
+
+
 def test_descending_install_accounting_is_subquadratic():
     """5000 descending-priority adds: the Fenwick tree must do
     O(n log n) accounting work where the sorted list did O(n^2)."""
