@@ -477,8 +477,10 @@ class FleetInferenceEngine:
         latency_batch_sizes: Tuple[int, ...] = (100, 400, 900, 1600),
         policy_cache_size: Optional[int] = None,
         sanitizer=None,
+        telemetry=None,
     ) -> None:
         from repro.obs.metrics import NULL_METRICS
+        from repro.obs.telemetry import NULL_TELEMETRY
         from repro.obs.trace import NULL_TRACER
 
         resolved: List[FleetMember] = []
@@ -504,6 +506,7 @@ class FleetInferenceEngine:
         )
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.fault_injector = fault_injector
         self.retry_policy = retry_policy
         self.sanitizer = sanitizer
@@ -604,6 +607,18 @@ class FleetInferenceEngine:
 
         def finish_member(result: FleetMemberResult) -> None:
             results[result.name] = result
+            if self.telemetry.enabled:
+                self.telemetry.emit(
+                    fleet_clock.now_ms,
+                    "fleet.member_ms",
+                    result.duration_ms,
+                    source=result.name,
+                    outcome=(
+                        "cache"
+                        if result.cache_hit
+                        else ("coalesced" if result.coalesced else "probe")
+                    ),
+                )
             if self.tracer.enabled:
                 self.tracer.event(
                     "fleet.member_finish",
@@ -706,6 +721,10 @@ class FleetInferenceEngine:
         def step(driver: _MemberDriver, started_ms: float, fingerprint: str) -> None:
             set_owner(driver.member.name)
             stage, elapsed, done = driver.advance(fleet_clock.now_ms)
+            if self.telemetry.enabled and stage is not None:
+                self.telemetry.observe_probe(
+                    driver.member.name, stage, fleet_clock.now_ms, elapsed
+                )
             if self.tracer.enabled and stage is not None:
                 self.tracer.event(
                     "fleet.stage",
@@ -776,8 +795,21 @@ class FleetInferenceEngine:
             members=len(self.members),
             max_in_flight=self.max_in_flight,
         ) as span:
+            if self.telemetry.enabled:
+                # Cadence sampling rides the fleet's own event queue; the
+                # sampler is a pure read and re-arms only while workload
+                # events remain, so the queue still drains and event
+                # outcomes are untouched.
+                self.telemetry.bind_simulator(sim)
             admit()
             makespan = sim.run()
+            if self.telemetry.enabled:
+                # The last sampler tick can fire after the last workload
+                # event; the fleet makespan is the workload frontier
+                # (identical to the drain time of a bare run), not the
+                # sampler's final wake-up.
+                makespan = max(result.finished_ms for result in results.values())
+                self.telemetry.finish(makespan)
             span.set(
                 makespan_ms=makespan,
                 full_probes=sum(1 for r in results.values() if r.full_probe),

@@ -47,6 +47,7 @@ from repro.core.patterns import RewritePattern, TangoPatternDatabase
 from repro.core.planner import TailCostPlanner
 from repro.core.requests import ReadySimulation, RequestDag, SwitchRequest
 from repro.obs.metrics import MetricsRegistry, NULL_METRICS
+from repro.obs.telemetry import NULL_TELEMETRY, TelemetryCollector
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.openflow.channel import ControlChannel
 from repro.openflow.errors import TransientFaultError
@@ -106,6 +107,7 @@ class NetworkExecutor:
         tracer: Optional[Tracer] = None,
         trace_requests: bool = False,
         fault_injector: Optional["FaultInjector"] = None,
+        telemetry: Optional[TelemetryCollector] = None,
     ) -> None:
         if not channels:
             raise ValueError("need at least one switch channel")
@@ -116,6 +118,7 @@ class NetworkExecutor:
         self.epoch_ms = 0.0
         self.metrics = metrics if metrics is not None else NULL_METRICS
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.trace_requests = trace_requests
         self._m_issued = {
             command: self.metrics.counter(
@@ -153,6 +156,10 @@ class NetworkExecutor:
         finished = channel.clock.now_ms
         self._m_issued[request.command].inc()
         self._m_issue_ms.observe(finished - started)
+        if self.telemetry.enabled:
+            self.telemetry.observe_install(
+                request.location, request.command.value, started, finished
+            )
         if self.trace_requests and self.tracer.enabled:
             self.tracer.event(
                 "executor.issue",
@@ -250,6 +257,9 @@ class BasicTangoScheduler:
             the executor's virtual-time frontier (defaults disabled).
         metrics: metrics registry for batch/request/oracle counters
             (defaults disabled).
+        telemetry: continuous-telemetry collector; batch spans feed its
+            ``scheduler.batch_ms`` stream (defaults to the executor's
+            collector, so attaching once at the executor covers both).
     """
 
     def __init__(
@@ -260,10 +270,14 @@ class BasicTangoScheduler:
         strict: bool = False,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        telemetry: Optional[TelemetryCollector] = None,
     ) -> None:
         self.executor = executor
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.telemetry = telemetry if telemetry is not None else executor.telemetry
+        self._t_batch_pattern = ""
+        self._t_batch_start_ms = 0.0
         if patterns is None:
             db = pattern_db if pattern_db is not None else TangoPatternDatabase()
             patterns = db.rewrite_patterns
@@ -307,17 +321,29 @@ class BasicTangoScheduler:
             estimated = self._batch_estimate_ms(batch)
             if estimated is not None:
                 span.set(estimated_ms=estimated)
+        if self.telemetry.enabled:
+            self._t_batch_pattern = pattern_name
+            self._t_batch_start_ms = self.executor.now_ms()
         return span
 
     def _close_batch_span(
         self, span, batch_start_ms: float, records: Sequence[IssueRecord]
     ) -> None:
-        if self.tracer.enabled or self.metrics.enabled:
+        if self.tracer.enabled or self.metrics.enabled or self.telemetry.enabled:
             misses = _count_deadline_misses(records, self.executor.epoch_ms)
             self._m_misses.inc(misses)
             if self.tracer.enabled:
                 span.set(
                     actual_ms=self.executor.now_ms() - batch_start_ms,
+                    deadline_misses=misses,
+                )
+            if self.telemetry.enabled:
+                self.telemetry.observe_batch(
+                    type(self).__name__,
+                    self._t_batch_pattern,
+                    self._t_batch_start_ms,
+                    self.executor.now_ms(),
+                    len(records),
                     deadline_misses=misses,
                 )
         span.close()
@@ -428,6 +454,28 @@ class BasicTangoScheduler:
         result.fault_retries += 1
         result.faulted_request_ids.add(rid)
         self._m_fault_retries.inc()
+        if self.telemetry.enabled:
+            now = self.executor.now_ms()
+            hold = (
+                max(0.0, fault.retry_at_ms - now)
+                if fault.retry_at_ms is not None
+                else 0.0
+            )
+            self.telemetry.emit(
+                now,
+                "scheduler.fault_deferrals",
+                1.0,
+                source=type(self).__name__,
+                switch=request.location,
+                fault=type(fault).__name__,
+            )
+            self.telemetry.emit(
+                now,
+                "scheduler.fault_hold_ms",
+                hold,
+                source=type(self).__name__,
+                switch=request.location,
+            )
         if self.tracer.enabled:
             self.tracer.event(
                 "scheduler.fault_deferred",
@@ -559,6 +607,7 @@ class PrefixTangoScheduler(BasicTangoScheduler):
         strict: bool = False,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        telemetry: Optional[TelemetryCollector] = None,
     ) -> None:
         super().__init__(
             executor,
@@ -567,6 +616,7 @@ class PrefixTangoScheduler(BasicTangoScheduler):
             strict=strict,
             tracer=tracer,
             metrics=metrics,
+            telemetry=telemetry,
         )
         if lookahead_depth < 1:
             raise ValueError("lookahead_depth must be at least 1")
@@ -701,6 +751,7 @@ class DeadlineAwareTangoScheduler(BasicTangoScheduler):
         strict: bool = False,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        telemetry: Optional[TelemetryCollector] = None,
     ) -> None:
         super().__init__(
             executor,
@@ -709,6 +760,7 @@ class DeadlineAwareTangoScheduler(BasicTangoScheduler):
             strict=strict,
             tracer=tracer,
             metrics=metrics,
+            telemetry=telemetry,
         )
         self.estimate = estimate
 
@@ -786,6 +838,7 @@ class ConcurrentTangoScheduler(BasicTangoScheduler):
         strict: bool = False,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        telemetry: Optional[TelemetryCollector] = None,
     ) -> None:
         super().__init__(
             executor,
@@ -794,6 +847,7 @@ class ConcurrentTangoScheduler(BasicTangoScheduler):
             strict=strict,
             tracer=tracer,
             metrics=metrics,
+            telemetry=telemetry,
         )
         self.estimate = estimate
         self.guard_ms = guard_ms

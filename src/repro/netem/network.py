@@ -147,6 +147,7 @@ class EmulatedNetwork:
         tracer=None,
         trace_requests: bool = False,
         fault_injector=None,
+        telemetry=None,
     ) -> NetworkExecutor:
         """A network executor over every switch in the topology.
 
@@ -154,14 +155,19 @@ class EmulatedNetwork:
         :class:`~repro.core.scheduler.NetworkExecutor` unchanged.  With a
         ``fault_injector`` (:class:`repro.faults.FaultInjector`), the
         executor sees fault-wrapped channels while the network's own
-        ``channels`` stay bare for untimed setup traffic.
+        ``channels`` stay bare for untimed setup traffic.  A
+        ``telemetry`` collector additionally starts watching every
+        switch (and per-port flow counts) in this network.
         """
+        if telemetry is not None and telemetry.enabled:
+            telemetry.watch_network(self)
         return NetworkExecutor(
             self.channels,
             metrics=metrics,
             tracer=tracer,
             trace_requests=trace_requests,
             fault_injector=fault_injector,
+            telemetry=telemetry,
         )
 
     def reset_rules(self) -> None:

@@ -116,8 +116,15 @@ def _prom_name(name: str) -> str:
     return name.replace(".", "_").replace("-", "_")
 
 
+def _prom_escape(value: str) -> str:
+    # Exposition format: inside label values, backslash, double-quote,
+    # and line feed must be escaped (in that order -- backslash first,
+    # or the other escapes get double-escaped).
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
 def _prom_labels(labels, extra: str = "") -> str:
-    parts = [f'{key}="{value}"' for key, value in labels]
+    parts = [f'{key}="{_prom_escape(value)}"' for key, value in labels]
     if extra:
         parts.append(extra)
     return "{" + ",".join(parts) + "}" if parts else ""

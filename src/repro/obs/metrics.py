@@ -44,6 +44,33 @@ DEFAULT_BUCKETS_MS: Tuple[float, ...] = (
     5000.0,
 )
 
+#: Buckets for ratio-valued series in [0, 1] (occupancy, hit rates).
+#: The latency defaults are useless here -- every observation would land
+#: in the first bucket.
+RATIO_BUCKETS: Tuple[float, ...] = (
+    0.1,
+    0.25,
+    0.5,
+    0.75,
+    0.9,
+    0.95,
+    0.99,
+    1.0,
+)
+
+#: Buckets for small-count series (batch sizes, churn deltas, retries).
+COUNT_BUCKETS: Tuple[float, ...] = (
+    1.0,
+    2.0,
+    5.0,
+    10.0,
+    20.0,
+    50.0,
+    100.0,
+    500.0,
+    1000.0,
+)
+
 
 def _labelset(labels: Dict[str, Any]) -> LabelSet:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
@@ -147,11 +174,26 @@ class MetricsRegistry:
         buckets: Optional[Sequence[float]] = None,
         **labels: Any,
     ) -> Histogram:
+        """Find or create a histogram; ``buckets`` override the default.
+
+        The override binds at creation (first lookup).  A later lookup
+        may omit ``buckets`` (the existing histogram is returned), but
+        re-specifying *different* bounds raises: the old behaviour --
+        silently ignoring the override and observing ratio-valued data
+        into millisecond buckets -- corrupted every non-latency series.
+        Presets: :data:`DEFAULT_BUCKETS_MS` (latencies),
+        :data:`RATIO_BUCKETS` (0-1 ratios), :data:`COUNT_BUCKETS`.
+        """
         key = (name, _labelset(labels))
         metric = self._histograms.get(key)
         if metric is None:
             metric = self._histograms[key] = Histogram(
                 name, key[1], buckets if buckets is not None else DEFAULT_BUCKETS_MS
+            )
+        elif buckets is not None and tuple(float(b) for b in buckets) != metric.buckets:
+            raise ValueError(
+                f"histogram {name!r} already exists with buckets "
+                f"{metric.buckets}; cannot rebind to {tuple(buckets)}"
             )
         return metric
 

@@ -360,16 +360,36 @@ def _fleet_signature(result) -> Tuple:
     ) + (result.makespan_ms,)
 
 
-def _noop_fleet_run(tracer, metrics):
+def _noop_fleet_run(tracer, metrics, telemetry=None, scores=None):
     engine = FleetInferenceEngine(
         build_fleet(fleet_bench_profiles()[:2], 3),
+        scores=scores,
         seed=9,
         max_in_flight=2,
         tracer=tracer,
         metrics=metrics,
+        telemetry=telemetry,
         **FLEET_BENCH_KNOBS,
     )
     return engine.infer_fleet(include_policy=False)
+
+
+def _db_signature(db) -> Tuple:
+    """Byte-comparable digest of TangoDB contents, in insertion order."""
+    return tuple(
+        (record.key, repr(record.value), record.recorded_at_ms, record.source)
+        for record in db.records()
+    )
+
+
+def _bench_collector():
+    """A collector configured the way the no-op check attaches it."""
+    from repro.obs.slo import SloPolicy, default_slo_targets
+    from repro.obs.telemetry import TelemetryCollector
+
+    collector = TelemetryCollector(interval_ms=5.0, window_ms=50.0)
+    collector.add_policy(SloPolicy(default_slo_targets()))
+    return collector
 
 
 def verify_noop_instrumentation(n: int = 1000) -> Dict[str, object]:
@@ -381,9 +401,17 @@ def verify_noop_instrumentation(n: int = 1000) -> Dict[str, object]:
     planner on the unlock workload (full per-record identity, since the
     planner is the hot path this suite guards); then the same with a
     small concurrent fleet inference run (identical models, member
-    timelines, and probe op counts).  Raises :class:`AssertionError` on
+    timelines, and probe op counts).
+
+    A continuous :class:`~repro.obs.telemetry.TelemetryCollector` is
+    held to the same bar: attached to the layered schedule and the fleet
+    run it may not change schedule signatures, op counts, or TangoDB
+    contents, and two same-seed collector runs must serialize to
+    byte-identical telemetry JSONL.  Raises :class:`AssertionError` on
     any divergence; returns the comparison payload for reporting.
     """
+    from repro.core.scores import TangoScoreDatabase
+    from repro.obs.telemetry import telemetry_jsonl_lines
     from repro.obs.trace import Tracer
 
     bare_dag = layered_dag(n)
@@ -416,9 +444,32 @@ def verify_noop_instrumentation(n: int = 1000) -> Dict[str, object]:
         metrics=MetricsRegistry(),
     ).schedule(prefix_traced_dag)
 
-    bare_fleet = _noop_fleet_run(tracer=None, metrics=None)
+    bare_fleet_db = TangoScoreDatabase()
+    bare_fleet = _noop_fleet_run(tracer=None, metrics=None, scores=bare_fleet_db)
     fleet_tracer = Tracer()
     traced_fleet = _noop_fleet_run(tracer=fleet_tracer, metrics=MetricsRegistry())
+
+    # Continuous flow telemetry: same run, collector attached.
+    tele_dag = layered_dag(n)
+    tele_dag.ops.clear()
+    tele_collector = _bench_collector()
+    tele_executor = fast_executor(telemetry=tele_collector)
+    tele = BasicTangoScheduler(tele_executor).schedule(tele_dag)
+    tele_collector.finish(tele_executor.now_ms())
+
+    # ... and again: same seed, same workload, byte-identical stream.
+    retele_dag = layered_dag(n)
+    retele_dag.ops.clear()
+    re_collector = _bench_collector()
+    re_executor = fast_executor(telemetry=re_collector)
+    BasicTangoScheduler(re_executor).schedule(retele_dag)
+    re_collector.finish(re_executor.now_ms())
+
+    fleet_collector = _bench_collector()
+    tele_fleet_db = TangoScoreDatabase()
+    tele_fleet = _noop_fleet_run(
+        tracer=None, metrics=None, telemetry=fleet_collector, scores=tele_fleet_db
+    )
 
     payload: Dict[str, object] = {
         "bare_ops": bare_dag.ops.total(),
@@ -438,6 +489,22 @@ def verify_noop_instrumentation(n: int = 1000) -> Dict[str, object]:
             _fleet_signature(bare_fleet) == _fleet_signature(traced_fleet)
         ),
         "fleet_trace_events": len(fleet_tracer),
+        "collector_ops": tele_dag.ops.total(),
+        "collector_signatures_equal": (
+            _schedule_signature(bare) == _schedule_signature(tele)
+        ),
+        "collector_samples": len(tele_collector.samples),
+        "collector_stream_identical": (
+            telemetry_jsonl_lines(tele_collector.samples)
+            == telemetry_jsonl_lines(re_collector.samples)
+        ),
+        "fleet_collector_samples": len(fleet_collector.samples),
+        "fleet_collector_signatures_equal": (
+            _fleet_signature(bare_fleet) == _fleet_signature(tele_fleet)
+        ),
+        "fleet_db_identical": (
+            _db_signature(bare_fleet_db) == _db_signature(tele_fleet_db)
+        ),
     }
     if payload["bare_ops"] != payload["traced_ops"] or not payload["signatures_equal"]:
         raise AssertionError(f"telemetry changed scheduler work: {payload}")
@@ -451,6 +518,19 @@ def verify_noop_instrumentation(n: int = 1000) -> Dict[str, object]:
         or not payload["fleet_signatures_equal"]
     ):
         raise AssertionError(f"telemetry changed fleet inference work: {payload}")
+    if (
+        payload["bare_ops"] != payload["collector_ops"]
+        or not payload["collector_signatures_equal"]
+    ):
+        raise AssertionError(f"flow collector changed scheduler work: {payload}")
+    if not payload["collector_stream_identical"]:
+        raise AssertionError(
+            f"same-seed collector runs produced different streams: {payload}"
+        )
+    if not payload["fleet_collector_signatures_equal"]:
+        raise AssertionError(f"flow collector changed fleet inference: {payload}")
+    if not payload["fleet_db_identical"]:
+        raise AssertionError(f"flow collector changed TangoDB contents: {payload}")
     return payload
 
 
@@ -537,13 +617,52 @@ def baseline_from_records(records: Sequence[BenchRecord]) -> Dict[str, int]:
     return {record.key: record.ops for record in records}
 
 
+def collect_suite_telemetry(n: int = 1000) -> Dict[str, object]:
+    """The ungated ``telemetry`` block for ``BENCH_scheduler.json``.
+
+    Runs the layered workload once with a continuous
+    :class:`~repro.obs.telemetry.TelemetryCollector` attached and
+    reports the collector's counter roll-up.  Like the ``wall_clock``
+    block this is informational only: the regression gate never reads
+    it, and :func:`verify_noop_instrumentation` has already proven the
+    collector cannot change the gated op counts.
+    """
+    from repro.obs.telemetry import summarize_telemetry
+
+    dag = layered_dag(n)
+    collector = _bench_collector()
+    executor = fast_executor(telemetry=collector)
+    BasicTangoScheduler(executor).schedule(dag)
+    collector.finish(executor.now_ms())
+    summary = summarize_telemetry(collector.samples)
+    return {
+        "gated": False,
+        "note": (
+            "continuous-telemetry counters are informational only; "
+            "verify_noop_instrumentation proves the attached collector "
+            "never changes the gated op counts"
+        ),
+        "workload": f"layered_schedule:{n}",
+        "stats": collector.stats(),
+        "span_ms": summary["span_ms"],
+        "series": summary["series"],
+    }
+
+
 def records_to_report(
     records: Sequence[BenchRecord],
     regressions: Sequence[Dict[str, object]],
     quick: bool,
     baseline_path: Optional[str],
+    telemetry: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
-    """The ``BENCH_scheduler.json`` document."""
+    """The ``BENCH_scheduler.json`` document.
+
+    ``telemetry`` is the ungated continuous-telemetry block; when
+    ``None`` it is produced by :func:`collect_suite_telemetry`.
+    """
+    if telemetry is None:
+        telemetry = collect_suite_telemetry()
     mismatched = [r.key for r in records if r.identical is False]
     wall_clock = {
         "gated": False,
@@ -574,6 +693,7 @@ def records_to_report(
         "baseline_path": baseline_path,
         "results": [asdict(record) for record in records],
         "wall_clock": wall_clock,
+        "telemetry": telemetry,
         "regressions": list(regressions),
         "mismatched": mismatched,
         "ok": not regressions and not mismatched,

@@ -28,13 +28,16 @@ def _match(index: int) -> Match:
 
 
 def fast_executor(
-    *locations: str, seed: int = 1, fault_injector=None
+    *locations: str, seed: int = 1, fault_injector=None, telemetry=None
 ) -> NetworkExecutor:
     """Unbounded, jitter-free switches with flat per-op costs.
 
     With a ``fault_injector`` (:class:`repro.faults.FaultInjector`), the
     channels are wrapped so the injector's seeded plan applies — used by
-    the faulted bench case and the no-op injection check.
+    the faulted bench case and the no-op injection check.  ``telemetry``
+    (a :class:`repro.obs.telemetry.TelemetryCollector`) attaches a
+    continuous-telemetry collector to the executor — used by the no-op
+    instrumentation check and the bench report's telemetry block.
     """
     channels = {}
     for offset, location in enumerate(locations or ("sw",)):
@@ -55,7 +58,9 @@ def fast_executor(
             seed=seed + offset,
         )
         channels[location] = ControlChannel(switch, rtt=ConstantLatency(0.0))
-    return NetworkExecutor(channels, fault_injector=fault_injector)
+    return NetworkExecutor(
+        channels, fault_injector=fault_injector, telemetry=telemetry
+    )
 
 
 def chain_dag(n: int, location: str = "sw") -> RequestDag:

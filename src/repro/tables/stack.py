@@ -206,6 +206,37 @@ class RankedTableStack:
             previous = boundary
         return counts
 
+    def occupancy_snapshot(self) -> Dict[str, object]:
+        """A JSON-ready per-layer occupancy view (pure read).
+
+        Each layer reports its entry count and, when bounded, an
+        occupancy ``ratio`` in [0, 1]: entries over capacity for plain
+        layers, slots used over slot units for TCAM-geometry layers.
+        Unbounded layers report ``ratio`` None.  This is the signal the
+        telemetry collector samples for occupancy-headroom SLOs.
+        """
+        counts = self.layer_occupancy()
+        boundaries = self._compute_boundaries()
+        ordered: Optional[List[FlowEntry]] = None
+        layers = []
+        previous = 0
+        for index, (layer, count) in enumerate(zip(self.layers, counts)):
+            ratio: Optional[float] = None
+            if layer.capacity is not None:
+                ratio = count / layer.capacity if layer.capacity else 1.0
+            elif layer.geometry is not None:
+                if ordered is None:
+                    ordered = [self._entries[eid] for _, eid in reversed(self._ranked)]
+                used = sum(
+                    self._layer_cost(layer, entry)
+                    for entry in ordered[previous : boundaries[index]]
+                )
+                units = layer.geometry.slot_units
+                ratio = used / units if units else 1.0
+            layers.append({"name": layer.name, "entries": count, "ratio": ratio})
+            previous = boundaries[index]
+        return {"total": len(self._entries), "layers": layers}
+
     def _fits(self, candidate: FlowEntry) -> bool:
         """Would the stack still hold every entry if ``candidate`` joined?"""
         if len(self._entries) + 1 > self.hard_limit:

@@ -195,6 +195,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="record a telemetry trace; writes PATH.jsonl, "
         "PATH.chrome.json, and PATH.prom",
     )
+    faults.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        help="attach a continuous-telemetry collector with the default "
+        "SLO burn-rate policy and drift feed; writes "
+        "PATH.telemetry.jsonl and PATH.alerts.jsonl "
+        "(with --verify-determinism, both runs' streams must be "
+        "byte-identical)",
+    )
     return parser
 
 
@@ -520,6 +529,18 @@ def _run_faults(args, out) -> int:
 
     tracer, metrics = _make_telemetry(args)
 
+    def make_collector():
+        """A fresh collector + default SLO policy + drift feed, or None."""
+        if not getattr(args, "telemetry", None):
+            return None
+        from repro.obs.slo import DriftFeed, SloPolicy, default_slo_targets
+        from repro.obs.telemetry import TelemetryCollector
+
+        collector = TelemetryCollector(interval_ms=5.0, window_ms=50.0)
+        collector.add_policy(SloPolicy(default_slo_targets()))
+        collector.add_policy(DriftFeed())
+        return collector
+
     def run_once():
         # Faulted size inference (Algorithm 1 in degraded mode).
         probe_injector = FaultInjector(plan)
@@ -546,11 +567,17 @@ def _run_faults(args, out) -> int:
         network.preinstall_flow_rules()
         dag_result = LinkFailureScenario(network, ("s1", "s2")).build_dag()
         sched_injector = FaultInjector(plan)
+        collector = make_collector()
         executor = network.executor(
-            metrics=metrics, tracer=tracer, fault_injector=sched_injector
+            metrics=metrics,
+            tracer=tracer,
+            fault_injector=sched_injector,
+            telemetry=collector,
         )
         scheduler = BasicTangoScheduler(executor, tracer=tracer, metrics=metrics)
         outcome = scheduler.schedule(dag_result.dag)
+        if collector is not None:
+            collector.finish(executor.now_ms())
         timeline = tuple(
             (r.request.request_id, r.started_ms, r.finished_ms)
             for r in outcome.records
@@ -561,9 +588,9 @@ def _run_faults(args, out) -> int:
             outcome.rounds,
             timeline,
         )
-        return size, outcome, probe_injector, sched_injector, signature
+        return size, outcome, probe_injector, sched_injector, signature, collector
 
-    size, outcome, probe_injector, sched_injector, signature = run_once()
+    size, outcome, probe_injector, sched_injector, signature, collector = run_once()
 
     sizes = ", ".join(
         "unbounded" if layer.estimated_size is None else str(layer.estimated_size)
@@ -600,18 +627,60 @@ def _run_faults(args, out) -> int:
         file=out,
     )
 
+    if collector is not None:
+        stats = collector.stats()
+        print("telemetry:", file=out)
+        print(f"  samples          : {stats['samples']}", file=out)
+        print(f"  ticks            : {stats['ticks']}", file=out)
+        print(f"  series           : {len(collector.series_names())}", file=out)
+        print(f"  alerts           : {len(collector.alerts)}", file=out)
+        for alert in collector.alerts:
+            source = f"[{alert.source}]" if alert.source else ""
+            print(
+                f"    {alert.name} ({alert.kind}, {alert.severity}) "
+                f"at t={alert.t_ms:.2f} ms on {alert.series}{source}",
+                file=out,
+            )
+
     if args.verify_determinism:
-        _, _, _, _, second = run_once()
+        _, _, _, _, second, recollector = run_once()
         if second != signature:
             print(
                 "determinism FAILED: two same-seed runs diverged", file=out
             )
             return 2
+        if collector is not None and recollector is not None:
+            from repro.obs.slo import alerts_jsonl_lines
+            from repro.obs.telemetry import telemetry_jsonl_lines
+
+            first_stream = telemetry_jsonl_lines(collector.samples)
+            second_stream = telemetry_jsonl_lines(recollector.samples)
+            first_alerts = alerts_jsonl_lines(collector.alerts)
+            second_alerts = alerts_jsonl_lines(recollector.alerts)
+            if first_stream != second_stream or first_alerts != second_alerts:
+                print(
+                    "determinism FAILED: two same-seed runs produced "
+                    "different telemetry streams",
+                    file=out,
+                )
+                return 2
         print(
             "determinism ok: two same-seed runs produced identical "
-            "size estimates and schedules",
+            "size estimates and schedules"
+            + (" and telemetry streams" if collector is not None else ""),
             file=out,
         )
+
+    if collector is not None:
+        from repro.obs.slo import write_alerts_jsonl
+        from repro.obs.telemetry import write_telemetry_jsonl
+
+        telemetry_path = f"{args.telemetry}.telemetry.jsonl"
+        alerts_path = f"{args.telemetry}.alerts.jsonl"
+        write_telemetry_jsonl(collector.samples, telemetry_path)
+        write_alerts_jsonl(collector.alerts, alerts_path)
+        print(f"telemetry samples written to {telemetry_path}", file=out)
+        print(f"telemetry alerts written to {alerts_path}", file=out)
 
     _write_trace_outputs(args, tracer, metrics, out)
     return 0

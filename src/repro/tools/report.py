@@ -110,6 +110,49 @@ def render_telemetry(summary: Dict[str, Any], heading: str = "### Telemetry") ->
     return lines
 
 
+def render_flow_telemetry(
+    summary: Dict[str, Any], heading: str = "### Flow telemetry"
+) -> List[str]:
+    """Markdown lines for a continuous-telemetry summary.
+
+    Accepts the payload produced by
+    :func:`repro.obs.telemetry.summarize_telemetry` (the form
+    benchmarks and the CLI store in ``extra_info["flow_telemetry"]``),
+    optionally carrying an ``alerts`` list of
+    :meth:`~repro.obs.slo.TelemetryAlert.to_dict` payloads.
+    """
+    lines = [heading, ""]
+    lines.append(
+        f"- samples: {summary.get('samples', 0)} over "
+        f"{summary.get('span_ms', 0.0):.2f} ms of virtual time"
+    )
+    series = summary.get("series") or {}
+    for key in sorted(series):
+        stats = series[key]
+        lines.append(
+            f"- series `{key}`: x{stats.get('count', 0)} "
+            f"({stats.get('sources', 0)} sources), "
+            f"mean {stats.get('mean', 0.0):.3f}, "
+            f"max {stats.get('max', 0.0):.3f}, "
+            f"last {stats.get('last', 0.0):.3f}"
+        )
+    alerts = summary.get("alerts") or ()
+    if alerts:
+        lines.append(f"- alerts: {len(alerts)}")
+        for payload in alerts:
+            source = f"[{payload['source']}]" if payload.get("source") else ""
+            lines.append(
+                f"  - **{payload.get('name', '?')}** "
+                f"({payload.get('kind', '?')}, {payload.get('severity', '?')}) "
+                f"at t={payload.get('t_ms', 0.0):.2f} ms on "
+                f"`{payload.get('series', '?')}`{source}: "
+                f"value {payload.get('value', 0.0):.3f} vs "
+                f"threshold {payload.get('threshold', 0.0):.3f}"
+            )
+    lines.append("")
+    return lines
+
+
 def render_report(data: Dict[str, Any]) -> str:
     """Markdown report from a pytest-benchmark JSON payload."""
     lines = ["# Tango reproduction — benchmark report", ""]
@@ -134,6 +177,7 @@ def render_report(data: Dict[str, Any]) -> str:
         extra = dict(bench.get("extra_info") or {})
         diagnostics = extra.pop("diagnostics", None)
         telemetry = extra.pop("telemetry", None)
+        flow_telemetry = extra.pop("flow_telemetry", None)
         races = extra.pop("races", None)
         if extra:
             lines.append("Reported results:")
@@ -143,7 +187,12 @@ def render_report(data: Dict[str, Any]) -> str:
                     lines.extend(_format_value(value, indent=1))
                 else:
                     lines.append(f"- **{key}**: {value}")
-        elif diagnostics is None and telemetry is None and races is None:
+        elif (
+            diagnostics is None
+            and telemetry is None
+            and flow_telemetry is None
+            and races is None
+        ):
             lines.append("(no extra_info recorded)")
         if diagnostics:
             lines.append("")
@@ -154,6 +203,9 @@ def render_report(data: Dict[str, Any]) -> str:
         if telemetry:
             lines.append("")
             lines.extend(render_telemetry(telemetry))
+        if flow_telemetry:
+            lines.append("")
+            lines.extend(render_flow_telemetry(flow_telemetry))
         lines.append("")
     return "\n".join(lines)
 

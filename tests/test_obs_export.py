@@ -146,3 +146,63 @@ def test_roundtrip_preserves_instant_event(tmp_path):
     (loaded,) = read_jsonl(path)
     assert loaded == event
     assert not loaded.is_span
+
+
+def _nested_span_events():
+    tracer = Tracer(now_ms=lambda: 0.0)
+    clock = iter([1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).__next__
+    with tracer.span("outer", category="scheduler", clock=clock):
+        with tracer.span("middle", category="scheduler", clock=clock):
+            with tracer.span("inner", category="executor", clock=clock):
+                tracer.event("leaf", category="executor")
+    return tracer.events
+
+
+def test_jsonl_roundtrip_identity_on_nested_spans():
+    events = _nested_span_events()
+    buffer = io.StringIO()
+    write_jsonl(events, buffer)
+    assert read_jsonl(io.StringIO(buffer.getvalue())) == events
+    # Nesting survives: inner spans close before outer ones.
+    spans = {e.name: e for e in events if e.is_span}
+    assert spans["inner"].start_ms >= spans["middle"].start_ms
+    assert spans["inner"].end_ms <= spans["middle"].end_ms
+    assert spans["middle"].end_ms <= spans["outer"].end_ms
+
+
+def test_prometheus_label_values_are_escaped():
+    registry = MetricsRegistry()
+    registry.counter("c", path='a\\b"c\nd').inc()
+    text = prometheus_text(registry)
+    assert 'c{path="a\\\\b\\"c\\nd"} 1' in text
+    # The exposition stays one sample per physical line.
+    samples = [ln for ln in text.splitlines() if ln and not ln.startswith("#")]
+    assert len(samples) == 1
+
+
+def test_prometheus_text_parse_smoke():
+    registry = MetricsRegistry()
+    registry.counter("probe.packets_sent", switch="s1").inc(4)
+    registry.gauge("probe.flows_installed").set(7)
+    registry.histogram("executor.issue_ms", buckets=(1.0, 10.0)).observe(5.0)
+    for line in prometheus_text(registry).splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name_part, value = line.rsplit(" ", 1)
+        float(value)  # every sample value parses as a number
+        name = name_part.split("{", 1)[0]
+        assert name.replace("_", "").isalnum()
+
+
+def test_summarize_events_degenerate_traces():
+    # Zero-duration span and an instant sharing the same timestamp.
+    tracer = Tracer(now_ms=lambda: 5.0)
+    clock = iter([5.0, 5.0]).__next__
+    with tracer.span("noop", category="c", clock=clock):
+        pass
+    tracer.event("blip", category="c")
+    summary = summarize_events(tracer.events)
+    assert summary["events"] == 2
+    assert summary["spans"]["c/noop"]["total_ms"] == 0.0
+    assert summary["spans"]["c/noop"]["max_ms"] == 0.0
+    assert summary["instants"] == {"c/blip": 1}

@@ -3,8 +3,10 @@
 import pytest
 
 from repro.obs.metrics import (
+    COUNT_BUCKETS,
     DEFAULT_BUCKETS_MS,
     NULL_METRICS,
+    RATIO_BUCKETS,
     Counter,
     Gauge,
     Histogram,
@@ -104,6 +106,36 @@ def test_introspection_lists_are_sorted():
 
 def test_default_histogram_buckets_are_sorted_unique():
     assert list(DEFAULT_BUCKETS_MS) == sorted(set(DEFAULT_BUCKETS_MS))
+
+
+def test_bucket_presets_are_sorted_unique_and_fit_their_domain():
+    for preset in (RATIO_BUCKETS, COUNT_BUCKETS):
+        assert list(preset) == sorted(set(preset))
+    # Ratio buckets cover the 0-1 occupancy domain and end at exactly 1.
+    assert RATIO_BUCKETS[-1] == 1.0
+    assert all(0.0 < edge <= 1.0 for edge in RATIO_BUCKETS)
+    assert COUNT_BUCKETS[0] == 1.0
+
+
+def test_histogram_bucket_presets_are_usable_overrides():
+    registry = MetricsRegistry()
+    ratio = registry.histogram("switch.occupancy_ratio", buckets=RATIO_BUCKETS)
+    ratio.observe(0.3)
+    ratio.observe(0.97)
+    assert ratio.buckets == tuple(RATIO_BUCKETS)
+    assert ratio.count == 2
+    counts = registry.histogram("scheduler.batch_size", buckets=COUNT_BUCKETS)
+    counts.observe(7)
+    assert counts.buckets == tuple(COUNT_BUCKETS)
+
+
+def test_histogram_rejects_conflicting_bucket_override():
+    registry = MetricsRegistry()
+    registry.histogram("h", buckets=(1.0, 10.0))
+    # Same buckets re-stated: fine, same handle.
+    assert registry.histogram("h", buckets=(1.0, 10.0)) is registry.histogram("h")
+    with pytest.raises(ValueError):
+        registry.histogram("h", buckets=(2.0, 20.0))
 
 
 def test_null_registry_is_disabled_and_ignores_updates():

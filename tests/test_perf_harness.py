@@ -155,6 +155,10 @@ def test_report_document_shape():
     assert {"key", "wall_ms", "ref_wall_ms", "speedup_wall"} <= set(
         wall["per_case"][0]
     )
+    # So do the continuous-telemetry counters.
+    telemetry = report["telemetry"]
+    assert telemetry["gated"] is False
+    assert telemetry["stats"]["samples"] > 0
 
 
 def test_run_suite_cases_filter():
@@ -302,6 +306,29 @@ def test_verify_noop_instrumentation_passes():
     assert payload["fleet_bare_ops"] == payload["fleet_traced_ops"] > 0
     assert payload["fleet_signatures_equal"] is True
     assert payload["fleet_trace_events"] > 0
+    # The continuous-telemetry collector arm: an attached collector may
+    # not change schedules, op counts, or TangoDB contents, and two
+    # same-seed collector runs must serialize byte-identically.
+    assert payload["collector_ops"] == payload["bare_ops"]
+    assert payload["collector_signatures_equal"] is True
+    assert payload["collector_samples"] > 0
+    assert payload["collector_stream_identical"] is True
+    assert payload["fleet_collector_samples"] > 0
+    assert payload["fleet_collector_signatures_equal"] is True
+    assert payload["fleet_db_identical"] is True
+
+
+def test_collect_suite_telemetry_block_shape():
+    from repro.perf.harness import collect_suite_telemetry
+
+    block = collect_suite_telemetry(n=200)
+    assert block["gated"] is False
+    assert block["workload"] == "layered_schedule:200"
+    assert block["stats"]["samples"] > 0
+    assert block["stats"]["ticks"] > 0
+    assert "executor.install_ms" in block["series"]
+    # Deterministic: two collections agree exactly.
+    assert block == collect_suite_telemetry(n=200)
 
 
 def test_fleet_infer_case_is_trajectory_only_and_deterministic():

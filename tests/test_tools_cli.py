@@ -331,3 +331,69 @@ def test_faults_subcommand_none_scenario_verifies_noop():
 def test_faults_subcommand_rejects_unknown_scenario():
     with pytest.raises(SystemExit):
         main(["faults", "--scenario", "nope"], out=io.StringIO())
+
+
+def test_faults_telemetry_writes_streams_and_fires_burn_alert(tmp_path):
+    from repro.obs.slo import read_alerts_jsonl
+    from repro.obs.telemetry import read_telemetry_jsonl
+
+    prefix = str(tmp_path / "tele")
+    out = io.StringIO()
+    assert (
+        main(
+            [
+                "faults",
+                "--scenario",
+                "disconnect",
+                "--seed",
+                "7",
+                "--flows",
+                "40",
+                "--verify-determinism",
+                "--telemetry",
+                prefix,
+            ],
+            out=out,
+        )
+        == 0
+    )
+    text = out.getvalue()
+    assert "telemetry:" in text
+    assert "identical size estimates and schedules and telemetry streams" in text
+    samples = read_telemetry_jsonl(prefix + ".telemetry.jsonl")
+    assert samples
+    assert "scheduler.fault_deferrals" in {s.series for s in samples}
+    alerts = read_alerts_jsonl(prefix + ".alerts.jsonl")
+    burn = [a for a in alerts if a.kind == "burn_rate"]
+    assert burn, "the seeded disconnect scenario must trip a burn-rate alert"
+    # Alert timestamps are cadence ticks: exact multiples of 5 ms.
+    assert all(a.t_ms % 5.0 == 0.0 for a in alerts)
+
+
+def test_faults_telemetry_streams_are_deterministic(tmp_path):
+    def run(prefix):
+        out = io.StringIO()
+        assert (
+            main(
+                [
+                    "faults",
+                    "--scenario",
+                    "chaos",
+                    "--seed",
+                    "0",
+                    "--flows",
+                    "30",
+                    "--telemetry",
+                    str(tmp_path / prefix),
+                ],
+                out=out,
+            )
+            == 0
+        )
+        with open(str(tmp_path / prefix) + ".telemetry.jsonl") as handle:
+            stream = handle.read()
+        with open(str(tmp_path / prefix) + ".alerts.jsonl") as handle:
+            alerts = handle.read()
+        return stream, alerts
+
+    assert run("first") == run("second")

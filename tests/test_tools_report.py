@@ -151,3 +151,34 @@ def test_render_diagnostics_accepts_diagnostic_objects():
     report.add("TNG010", Severity.ERROR, "cycle")
     lines = render_diagnostics(list(report))
     assert any("TNG010" in line for line in lines)
+
+
+def test_render_flow_telemetry_section():
+    from repro.obs.slo import SloPolicy, SloTarget
+    from repro.obs.telemetry import TelemetryCollector, summarize_telemetry
+
+    collector = TelemetryCollector(interval_ms=10.0)
+    collector.add_policy(
+        SloPolicy(
+            [SloTarget(name="lat", series="executor.install_ms", threshold=1.0)],
+            min_samples=2,
+        )
+    )
+    for t in range(0, 100, 5):
+        collector.observe_install("s1", "add", float(t), float(t) + 50.0)
+    collector.finish(150.0)
+    summary = summarize_telemetry(collector.samples)
+    summary["alerts"] = [alert.to_dict() for alert in collector.alerts]
+    payload = {
+        "benchmarks": [
+            {
+                "name": "bench_flows",
+                "stats": {"mean": 0.5},
+                "extra_info": {"flow_telemetry": summary},
+            }
+        ]
+    }
+    rendered = render_report(payload)
+    assert "### Flow telemetry" in rendered
+    assert "series `executor.install_ms`" in rendered
+    assert "**lat** (burn_rate, page)" in rendered
