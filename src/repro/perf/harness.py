@@ -40,6 +40,11 @@ Cases (``n`` is the suite size knob):
   Gates the cost of fault-deferral bookkeeping: re-enqueued requests
   revisit DAG edges, so a fault-handling change that loops instead of
   deferring shows up as an op-count blowup.
+* ``serve_churn``        -- n churning flow arrivals served by
+  :class:`repro.serve.ServeLoop` against a 96-rule budget (FDRC
+  admission, policy-ranked eviction, wildcard aggregation);
+  trajectory-only, op-count-gated via the loop's deterministic
+  lookup + DAG + issue-record total.
 """
 
 from __future__ import annotations
@@ -71,6 +76,8 @@ from repro.perf.workloads import (
     fast_executor,
     fleet_bench_profiles,
     layered_dag,
+    serve_bench_profile,
+    serve_churn_config,
     unlock_groups_dag,
 )
 from repro.tables.tcam import PriorityShiftModel
@@ -322,6 +329,34 @@ def bench_fleet_infer(n: int, with_reference: bool = True) -> BenchRecord:
     return record
 
 
+def bench_serve_churn(n: int, with_reference: bool = True) -> BenchRecord:
+    """Sustained serving under flow churn against a 96-rule budget.
+
+    Runs :class:`repro.serve.ServeLoop` over ``n`` Zipf/churn arrivals
+    (see :func:`repro.perf.workloads.serve_churn_config`).  Ops are the
+    loop's deterministic operation total — one per table lookup plus
+    every DAG edge visit, ready yield, and issued request across all
+    install batches — a pure function of ``n``, so a caching change
+    that defeats admission coalescing or plans redundant evictions
+    shows up as an op-count blowup the gate catches.  The ``detail``
+    carries the full serving summary (requests/sec, p50/p99 install
+    latency, hit/evict/aggregate counters, final occupancy) — the
+    ``serve_churn`` BENCH block EXPERIMENTS.md interprets.
+    """
+    del with_reference  # trajectory-only; serving is a new subsystem
+    from repro.serve import ServeLoop
+
+    registry = MetricsRegistry()
+    loop = ServeLoop(serve_churn_config(n), serve_bench_profile(), metrics=registry)
+    wall_ms, result = _timed(loop.run)
+    record = BenchRecord(case="serve_churn", n=n, wall_ms=wall_ms, ops=result.op_count)
+    record.detail = {
+        "serve": result.to_dict(),
+        "attribution": registry.snapshot(),
+    }
+    return record
+
+
 _CASES = (
     bench_chain_schedule,
     bench_layered_schedule,
@@ -329,6 +364,7 @@ _CASES = (
     bench_prefix_lookahead,
     bench_faulted_schedule,
     bench_fleet_infer,
+    bench_serve_churn,
 )
 
 #: Case-name -> bench function, for ``run_suite(cases=...)`` / ``--cases``.
@@ -339,6 +375,7 @@ CASE_NAMES: Dict[str, Callable[..., BenchRecord]] = {
     "prefix_lookahead": bench_prefix_lookahead,
     "faulted_schedule": bench_faulted_schedule,
     "fleet_infer": bench_fleet_infer,
+    "serve_churn": bench_serve_churn,
 }
 
 

@@ -156,6 +156,59 @@ FLEET_BENCH_KNOBS = {
 }
 
 
+#: Rule budget of the serve_churn bench switch: small enough that the
+#: Zipf working set overflows it and eviction/aggregation churn is
+#: sustained at every suite size.
+SERVE_CHURN_CAPACITY = 96
+
+
+def serve_bench_profile() -> SwitchProfile:
+    """The serve_churn bench switch: one bounded LRU fast layer.
+
+    A single bounded layer keeps the occupancy-ratio trajectory easy to
+    read, and LRU is the policy family the FDRC-style eviction is
+    designed around (recency-ranked victims).
+    """
+    return make_cache_test_profile(
+        LRU,
+        layer_sizes=(SERVE_CHURN_CAPACITY, None),
+        layer_means_ms=(0.5, 4.8),
+        name="serve-bench",
+    )
+
+
+def serve_churn_config(n: int):
+    """The serve_churn bench workload: ``n`` arrivals of churning flows.
+
+    Sixteen tenants with Zipf-skewed destinations rotate their hot sets
+    every 150 virtual ms, so the cached working set decays instead of
+    converging; FDRC admission (2 packet-ins) punts one-packet flows;
+    the 96-rule budget forces policy-ranked eviction and wildcard
+    aggregation throughout the run.  Pure function of ``n`` — same size,
+    byte-identical run.
+    """
+    from repro.serve import ServeConfig, StreamConfig
+
+    return ServeConfig(
+        stream=StreamConfig(
+            arrivals=n,
+            tenants=16,
+            destinations_per_tenant=64,
+            rate_per_ms=2.0,
+            zipf_skew=1.1,
+            tenant_skew=0.6,
+            churn_interval_ms=150.0,
+            seed=11,
+        ),
+        batch_size=16,
+        capacity=SERVE_CHURN_CAPACITY,
+        admission_threshold=2,
+        admission_window_ms=80.0,
+        idle_timeout_ms=400.0,
+        maintenance_interval_ms=100.0,
+    )
+
+
 def fleet_bench_profiles() -> List[SwitchProfile]:
     """Three small, distinct, deterministic profiles for fleet benches.
 

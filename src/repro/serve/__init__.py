@@ -1,0 +1,43 @@
+"""Long-running controller serving: sustained flow churn against finite TCAM.
+
+The serve subsystem closes the loop the paper opens: switch properties
+inferred offline (table sizes, cache policy, flow-mod costs) drive an
+*ongoing* control service.  :mod:`repro.serve.stream` generates the
+deterministic tenant/Zipf/churn workload, :mod:`repro.serve.cache`
+implements FDRC-style flow-driven rule caching with policy-ranked
+eviction and wildcard aggregation, and :mod:`repro.serve.loop` runs the
+whole thing on the virtual-time simulator with the existing schedulers
+and telemetry.  ``tango-serve`` (:mod:`repro.serve.cli`) is the
+operator entry point.
+"""
+
+from repro.serve.cache import CacheStats, PlannedOp, RuleCacheManager, derive_capacity
+from repro.serve.loop import (
+    ServeConfig,
+    ServeLoop,
+    ServeResult,
+    policy_from_model,
+)
+from repro.serve.stream import (
+    FlowArrival,
+    FlowRequestStream,
+    StreamConfig,
+    flow_address,
+    flow_match,
+)
+
+__all__ = [
+    "CacheStats",
+    "FlowArrival",
+    "FlowRequestStream",
+    "PlannedOp",
+    "RuleCacheManager",
+    "ServeConfig",
+    "ServeLoop",
+    "ServeResult",
+    "StreamConfig",
+    "derive_capacity",
+    "flow_address",
+    "flow_match",
+    "policy_from_model",
+]

@@ -107,6 +107,15 @@ class RankedTableStack:
         """Entries from best-ranked (fastest layer) to worst."""
         return [self._entries[eid] for _, eid in reversed(self._ranked)]
 
+    def worst_entries(self, count: int = 1) -> List[FlowEntry]:
+        """The ``count`` worst-ranked entries, worst first.
+
+        These are the policy's eviction candidates: the entries the
+        cache hierarchy relegates to its slowest layer (or would push
+        out entirely).  O(count) — the ranking is already maintained.
+        """
+        return [self._entries[eid] for _, eid in self._ranked[:count]]
+
     def lookup_exact(self, match: Match, priority: Optional[int] = None) -> Optional[FlowEntry]:
         """Find an entry with exactly this match (and priority, if given)."""
         for entry_id in self._by_key.get(match.key(), ()):

@@ -153,6 +153,60 @@ def render_flow_telemetry(
     return lines
 
 
+def render_serve(
+    summary: Dict[str, Any], heading: str = "### Sustained serving"
+) -> List[str]:
+    """Markdown lines for a serving-run summary.
+
+    Accepts the payload produced by
+    :meth:`repro.serve.loop.ServeResult.to_dict` (the form
+    ``tango-serve --report`` and the ``serve_churn`` bench store in
+    ``extra_info["serve"]``).
+    """
+    lines = [heading, ""]
+    lines.append(
+        f"- arrivals: {summary.get('arrivals', 0)} over "
+        f"{summary.get('duration_ms', 0.0):.1f} ms of virtual time "
+        f"({summary.get('requests_per_sec', 0.0):.1f} req/s sustained)"
+    )
+    p50 = summary.get("install_p50_ms")
+    p99 = summary.get("install_p99_ms")
+    if p50 is not None or p99 is not None:
+        lines.append(f"- install latency: p50 {p50} ms, p99 {p99} ms")
+    cache = summary.get("cache") or {}
+    if cache:
+        lines.append(
+            f"- cache: {cache.get('hits', 0)}/{cache.get('lookups', 0)} hits "
+            f"({100.0 * cache.get('hit_rate', 0.0):.1f}%), "
+            f"{cache.get('wildcard_hits', 0)} via wildcards, "
+            f"{cache.get('punts', 0)} punts"
+        )
+        lines.append(
+            f"- churn: {cache.get('installs', 0)} installs, "
+            f"{cache.get('evictions', 0)} evictions, "
+            f"{cache.get('expirations', 0)} expirations, "
+            f"{cache.get('aggregations', 0)} aggregations "
+            f"({cache.get('aggregated_rules', 0)} rules folded)"
+        )
+    occupancy = summary.get("occupancy") or {}
+    layers = occupancy.get("layers") or ()
+    if layers:
+        rendered = ", ".join(
+            f"`{layer.get('name', '?')}` {layer.get('entries', 0)}"
+            + (
+                f" ({100.0 * layer['ratio']:.0f}%)"
+                if layer.get("ratio") is not None
+                else ""
+            )
+            for layer in layers
+        )
+        lines.append(
+            f"- final occupancy: {occupancy.get('total', 0)} rules — {rendered}"
+        )
+    lines.append("")
+    return lines
+
+
 def render_report(data: Dict[str, Any]) -> str:
     """Markdown report from a pytest-benchmark JSON payload."""
     lines = ["# Tango reproduction — benchmark report", ""]
@@ -179,6 +233,7 @@ def render_report(data: Dict[str, Any]) -> str:
         telemetry = extra.pop("telemetry", None)
         flow_telemetry = extra.pop("flow_telemetry", None)
         races = extra.pop("races", None)
+        serve = extra.pop("serve", None)
         if extra:
             lines.append("Reported results:")
             for key, value in extra.items():
@@ -192,6 +247,7 @@ def render_report(data: Dict[str, Any]) -> str:
             and telemetry is None
             and flow_telemetry is None
             and races is None
+            and serve is None
         ):
             lines.append("(no extra_info recorded)")
         if diagnostics:
@@ -200,6 +256,9 @@ def render_report(data: Dict[str, Any]) -> str:
         if races:
             lines.append("")
             lines.extend(render_races(races))
+        if serve:
+            lines.append("")
+            lines.extend(render_serve(serve))
         if telemetry:
             lines.append("")
             lines.extend(render_telemetry(telemetry))

@@ -2,9 +2,49 @@
 
 from __future__ import annotations
 
+import bisect
+import itertools
 from typing import Dict, List, Sequence, Tuple
 
 from repro.sim.rng import SeededRng
+
+
+def zipf_weights(count: int, skew: float) -> List[float]:
+    """Unnormalised Zipf popularity weights ``1 / rank^skew`` for ranks 1..count.
+
+    ``skew=0`` degenerates to a uniform mix; larger values concentrate
+    probability mass on the first few ranks (the heavy-hitter shape of
+    real flow-destination popularity that FDRC-style rule caching
+    exploits).
+    """
+    if count < 1:
+        raise ValueError("count must be at least 1")
+    if skew < 0:
+        raise ValueError("skew must be non-negative")
+    return [1.0 / float(rank) ** skew for rank in range(1, count + 1)]
+
+
+class ZipfSampler:
+    """Deterministic rank sampler over a Zipf popularity distribution.
+
+    Draws come from the supplied :class:`~repro.sim.rng.SeededRng`
+    stream via inverse-CDF lookup on the precomputed cumulative weights,
+    so a sampler is a pure function of ``(count, skew, rng stream)`` —
+    same seed, same rank sequence, byte-for-byte.
+    """
+
+    def __init__(self, count: int, skew: float, rng: SeededRng) -> None:
+        weights = zipf_weights(count, skew)
+        self._cumulative = list(itertools.accumulate(weights))
+        self._total = self._cumulative[-1]
+        self._rng = rng
+
+    def sample(self) -> int:
+        """One 0-based rank (0 is the most popular)."""
+        u = self._rng.uniform(0.0, self._total)
+        return min(
+            bisect.bisect_left(self._cumulative, u), len(self._cumulative) - 1
+        )
 
 
 def uniform_traffic_matrix(

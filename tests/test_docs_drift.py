@@ -1,0 +1,90 @@
+"""Doc-drift guard: API.md must keep up with the public surface.
+
+Two invariants, both cheap and purely static:
+
+* every public *package* under ``src/repro`` has an API.md heading that
+  names it (``## ... `repro.x` ...``), so a new subsystem cannot land
+  without a reference section;
+* every public *module* is reachable from API.md — either its dotted
+  path appears verbatim, or at least one public top-level name it
+  defines does (word-boundary match), so a module cannot drift into
+  being entirely undocumented.
+
+CI runs this file as the doc-drift check.
+"""
+
+import ast
+import re
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src" / "repro"
+API = (REPO / "API.md").read_text(encoding="utf-8")
+API_HEADINGS = [line for line in API.splitlines() if line.startswith("#")]
+
+
+def _packages():
+    for init in sorted(SRC.rglob("__init__.py")):
+        package = init.parent.relative_to(SRC.parent)
+        if len(package.parts) == 1:
+            continue  # the root namespace is the whole document
+        yield ".".join(package.parts)
+
+
+def _modules():
+    for path in sorted(SRC.rglob("*.py")):
+        if path.name.startswith("_"):
+            continue
+        module = path.relative_to(SRC.parent).with_suffix("")
+        yield ".".join(module.parts), path
+
+
+def _public_names(path):
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    names = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            names.add(node.target.id)
+    return {name for name in names if not name.startswith("_")}
+
+
+def test_every_package_has_an_api_heading():
+    missing = [
+        package
+        for package in _packages()
+        if not any(f"`{package}`" in heading for heading in API_HEADINGS)
+    ]
+    assert not missing, (
+        "packages without an API.md heading (add a `## ... — `<package>`` "
+        f"section): {missing}"
+    )
+
+
+def test_every_module_is_reachable_from_api_md():
+    undocumented = []
+    for module, path in _modules():
+        if module in API:
+            continue
+        names = _public_names(path)
+        if any(re.search(rf"\b{re.escape(name)}\b", API) for name in sorted(names)):
+            continue
+        undocumented.append((module, sorted(names)[:5]))
+    assert not undocumented, (
+        "modules with no API.md mention (neither the dotted path nor any "
+        f"public name appears): {undocumented}"
+    )
+
+
+def test_console_scripts_are_documented():
+    pyproject = (REPO / "pyproject.toml").read_text(encoding="utf-8")
+    block = pyproject.split("[project.scripts]", 1)[1].split("[", 1)[0]
+    scripts = re.findall(r"^(\S+)\s*=", block, flags=re.MULTILINE)
+    assert scripts, "no console scripts found in pyproject.toml"
+    missing = [script for script in scripts if f"`{script}" not in API]
+    assert not missing, f"console scripts absent from API.md: {missing}"

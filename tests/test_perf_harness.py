@@ -109,6 +109,7 @@ def test_run_suite_quick_sizes_and_keys():
         "prefix_lookahead:50",
         "faulted_schedule:50",
         "fleet_infer:12",  # fleet size is capped at FLEET_CAP
+        "serve_churn:50",
     ]
 
 
@@ -145,7 +146,7 @@ def test_report_document_shape():
     report = records_to_report(records, [], quick=True, baseline_path=None)
     assert report["ok"] is True
     assert report["suite"] == "scheduler-hot-paths"
-    assert len(report["results"]) == 6
+    assert len(report["results"]) == 7
     assert {"case", "n", "wall_ms", "ops"} <= set(report["results"][0])
     # Wall-clock trajectories ride along but never gate.
     wall = report["wall_clock"]

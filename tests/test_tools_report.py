@@ -182,3 +182,63 @@ def test_render_flow_telemetry_section():
     assert "### Flow telemetry" in rendered
     assert "series `executor.install_ms`" in rendered
     assert "**lat** (burn_rate, page)" in rendered
+
+
+def test_render_serve_section():
+    from repro.tools.report import render_serve
+
+    summary = {
+        "arrivals": 5000,
+        "duration_ms": 2500.0,
+        "requests_per_sec": 2000.0,
+        "install_p50_ms": 0.8,
+        "install_p99_ms": 2.4,
+        "cache": {
+            "lookups": 5000,
+            "hits": 3000,
+            "hit_rate": 0.6,
+            "wildcard_hits": 120,
+            "punts": 400,
+            "installs": 900,
+            "evictions": 250,
+            "expirations": 30,
+            "aggregations": 12,
+            "aggregated_rules": 70,
+        },
+        "occupancy": {
+            "total": 96,
+            "layers": [{"name": "tcam", "entries": 96, "ratio": 1.0}],
+        },
+    }
+    lines = render_serve(summary)
+    text = "\n".join(lines)
+    assert lines[0] == "### Sustained serving"
+    assert "5000 arrivals" not in text  # arrivals folded into the rate line
+    assert "2000.0 req/s sustained" in text
+    assert "p50 0.8 ms, p99 2.4 ms" in text
+    assert "3000/5000 hits (60.0%)" in text
+    assert "250 evictions" in text
+    assert "12 aggregations (70 rules folded)" in text
+    assert "96 rules" in text and "`tcam` 96 (100%)" in text
+
+
+def test_render_report_includes_serve_extra_info():
+    payload = {
+        "benchmarks": [
+            {
+                "name": "bench_serve_churn",
+                "stats": {"mean": 0.4},
+                "extra_info": {
+                    "serve": {
+                        "arrivals": 100,
+                        "duration_ms": 50.0,
+                        "requests_per_sec": 2000.0,
+                        "cache": {"lookups": 100, "hits": 40, "hit_rate": 0.4},
+                    }
+                },
+            }
+        ]
+    }
+    rendered = render_report(payload)
+    assert "### Sustained serving" in rendered
+    assert "2000.0 req/s sustained" in rendered

@@ -60,3 +60,43 @@ def test_poisson_mean_rate():
 def test_poisson_rate_validated():
     with pytest.raises(ValueError):
         poisson_flow_arrivals(rate_per_ms=0.0, duration_ms=10.0, rng=SeededRng(1))
+
+
+def test_zipf_weights_follow_inverse_power_law():
+    from repro.workloads.traffic import zipf_weights
+
+    weights = zipf_weights(4, skew=1.0)
+    assert weights[0] == pytest.approx(1.0)
+    assert weights[1] == pytest.approx(0.5)
+    assert weights[3] == pytest.approx(0.25)
+    assert zipf_weights(5, skew=0.0) == [1.0] * 5  # skew 0 is uniform
+
+
+def test_zipf_weights_validated():
+    from repro.workloads.traffic import zipf_weights
+
+    with pytest.raises(ValueError):
+        zipf_weights(0, skew=1.0)
+    with pytest.raises(ValueError):
+        zipf_weights(4, skew=-0.1)
+
+
+def test_zipf_sampler_is_deterministic_and_bounded():
+    from repro.workloads.traffic import ZipfSampler
+
+    a = ZipfSampler(16, skew=1.2, rng=SeededRng(9).child("z"))
+    b = ZipfSampler(16, skew=1.2, rng=SeededRng(9).child("z"))
+    draws = [a.sample() for _ in range(500)]
+    assert draws == [b.sample() for _ in range(500)]
+    assert all(0 <= d < 16 for d in draws)
+
+
+def test_zipf_sampler_rank_zero_most_frequent():
+    from repro.workloads.traffic import ZipfSampler
+
+    sampler = ZipfSampler(8, skew=1.5, rng=SeededRng(10).child("z"))
+    counts = [0] * 8
+    for _ in range(4000):
+        counts[sampler.sample()] += 1
+    assert counts[0] == max(counts)
+    assert counts[0] > counts[7]
