@@ -1,0 +1,74 @@
+"""Sharded fleet inference -- the 10k-switch scale path.
+
+Not tied to a paper figure: this bench quantifies the sharded fleet
+engine (`repro.core.shard`) the ROADMAP's fleet-scale item calls for.
+A tier-named fleet with pairwise-distinct profile fingerprints is
+inferred through :class:`repro.core.shard.ShardedFleetEngine` and the
+result checked byte-identical against the single-queue
+:class:`repro.core.fleet.FleetInferenceEngine`; the shard statistics
+(per-shard makespan, merge cost, cross-shard coalescing) land in
+``benchmark.extra_info["shards"]`` so ``python -m repro.tools.report``
+renders a "Sharded fleet" section for it.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.fleet import FleetInferenceEngine, build_fleet
+from repro.core.shard import ShardedFleetEngine
+from repro.perf.workloads import SHARDED_BENCH_KNOBS, sharded_fleet_profiles
+
+from benchmarks._helpers import print_table
+
+MEMBERS = 128
+SHARDS = 4
+
+
+def bench_sharded_fleet(benchmark):
+    profiles = sharded_fleet_profiles(MEMBERS)
+
+    def run():
+        engine = ShardedFleetEngine(
+            build_fleet(profiles, MEMBERS),
+            seed=3,
+            shards=SHARDS,
+            partition="tier",
+            backend="inline",
+            **SHARDED_BENCH_KNOBS,
+        )
+        result = engine.infer_fleet(include_policy=False)
+        return engine, result
+
+    engine, result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    reference = FleetInferenceEngine(
+        build_fleet(profiles, MEMBERS), seed=3, **SHARDED_BENCH_KNOBS
+    )
+    ref_result = reference.infer_fleet(include_policy=False)
+
+    stats = engine.shard_stats
+    rows = [
+        ["members", len(result.members)],
+        ["shards", f"{stats['shards']} ({stats['partition']} partition)"],
+        ["virtual makespan", f"{result.makespan_ms / 1000.0:.2f}s"],
+        ["sequential sum", f"{result.sequential_sum_ms / 1000.0:.2f}s"],
+        ["virtual speedup", f"{result.speedup:.2f}x"],
+        ["full probe runs", result.full_probe_runs],
+        ["cross-shard coalesced", stats["cross_shard_coalesced"]],
+        ["merge events / records", f"{stats['merge_events']} / {stats['merge_records']}"],
+    ]
+    print_table(
+        f"Sharded fleet inference ({MEMBERS} members, {SHARDS} shards)",
+        ["metric", "value"],
+        rows,
+    )
+
+    # Shape: every member infers, every shard does real work, and the
+    # merged result is byte-identical to the single-queue engine.
+    assert all(member.model is not None for member in result.members)
+    assert all(shard["members"] > 0 for shard in stats["per_shard"])
+    assert json.dumps(result.summary(), sort_keys=True) == json.dumps(
+        ref_result.summary(), sort_keys=True
+    )
+    benchmark.extra_info["shards"] = stats

@@ -283,6 +283,36 @@ class ModelCache:
         return findings
 
 
+# -- shared fleet-policy predicates --------------------------------------------
+def coalescing_allowed(fault_injector: Any) -> bool:
+    """Whether same-fingerprint probes may single-flight coalesce.
+
+    With an active fault plan, fault streams are per switch *name*:
+    each member must run its own probes, so coalescing is off (cache
+    lookups of clean models stay on).  Shared by the event-driven
+    :class:`FleetInferenceEngine` and the sharded engine
+    (:class:`repro.core.shard.ShardedFleetEngine`), whose merge applies
+    the same rule *across* shards.
+    """
+    if fault_injector is None:
+        return True
+    plan = getattr(fault_injector, "plan", None)
+    return plan is not None and plan.is_noop()
+
+
+def cache_store_allowed(model: InferredSwitchModel, fault_injector: Any) -> bool:
+    """Whether a freshly probed model may seed the fingerprint cache.
+
+    Only clean runs qualify: a degraded or faulted model must not be
+    replicated fleet-wide.  Shared across both fleet engines so a
+    worker-side probe and the in-process engine make the identical
+    store decision.
+    """
+    if model.confidence < 1.0:
+        return False
+    return coalescing_allowed(fault_injector)
+
+
 # -- fleet results -------------------------------------------------------------
 @dataclass
 class FleetMemberResult:
@@ -392,8 +422,14 @@ class FleetResult:
 
 
 # -- the fleet engine ----------------------------------------------------------
-class _MemberDriver:
-    """Steps one member's inference generator and meters its virtual cost."""
+class MemberDriver:
+    """Steps one member's inference generator and meters its virtual cost.
+
+    Public because both fleet drivers use it: the in-process
+    :class:`FleetInferenceEngine` steps drivers on one shared event
+    queue, and each :class:`repro.core.shard.ShardedFleetEngine` worker
+    steps its shard's drivers on a shard-local queue.
+    """
 
     def __init__(
         self, member: FleetMember, engine: SwitchInferenceEngine, include_policy: bool
@@ -558,14 +594,7 @@ class FleetInferenceEngine:
         )
 
     def _cache_store_allowed(self, model: InferredSwitchModel) -> bool:
-        """Only clean runs seed the cache: a degraded or faulted model
-        must not be replicated fleet-wide."""
-        if model.confidence < 1.0:
-            return False
-        if self.fault_injector is None:
-            return True
-        plan = getattr(self.fault_injector, "plan", None)
-        return plan is not None and plan.is_noop()
+        return cache_store_allowed(model, self.fault_injector)
 
     # -- the driver ------------------------------------------------------------
     def infer_fleet(self, include_policy: bool = True) -> FleetResult:
@@ -587,13 +616,7 @@ class FleetInferenceEngine:
         # fingerprint -> names of members waiting on an in-flight probe
         waiters: Dict[str, List[Tuple[FleetMember, float]]] = {}
         leaders: Dict[str, str] = {}
-        # With an active fault plan, fault streams are per switch name:
-        # each member must run its own probes, so single-flight
-        # coalescing is off (cache lookups of *clean* models stay on).
-        plan = getattr(self.fault_injector, "plan", None)
-        coalesce_ok = self.fault_injector is None or (
-            plan is not None and plan.is_noop()
-        )
+        coalesce_ok = coalescing_allowed(self.fault_injector)
 
         self.metrics.counter("fleet.members").inc(len(self.members))
 
@@ -669,7 +692,7 @@ class FleetInferenceEngine:
             )
 
         def complete_probe(
-            driver: _MemberDriver, started_ms: float, fingerprint: str
+            driver: MemberDriver, started_ms: float, fingerprint: str
         ) -> None:
             nonlocal in_flight
             set_owner(driver.member.name)
@@ -718,7 +741,7 @@ class FleetInferenceEngine:
             in_flight -= 1
             admit()
 
-        def step(driver: _MemberDriver, started_ms: float, fingerprint: str) -> None:
+        def step(driver: MemberDriver, started_ms: float, fingerprint: str) -> None:
             set_owner(driver.member.name)
             stage, elapsed, done = driver.advance(fleet_clock.now_ms)
             if self.telemetry.enabled and stage is not None:
@@ -777,7 +800,7 @@ class FleetInferenceEngine:
                         return
                     leaders[fingerprint] = member.name
             in_flight += 1
-            driver = _MemberDriver(member, self._build_engine(index), include_policy)
+            driver = MemberDriver(member, self._build_engine(index), include_policy)
             sim.call_soon(lambda: step(driver, started_ms, fingerprint))
 
         def admit() -> None:
@@ -873,7 +896,10 @@ __all__ = [
     "FleetMember",
     "FleetMemberResult",
     "FleetResult",
+    "MemberDriver",
     "ModelCache",
     "build_fleet",
+    "cache_store_allowed",
+    "coalescing_allowed",
     "profile_fingerprint",
 ]

@@ -18,11 +18,13 @@ the hardware fast path.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.inference import InferredSwitchModel
 from repro.core.latency_curves import PriorityPattern
+from repro.core.requests import RequestDag
 from repro.openflow.messages import FlowModCommand
 
 
@@ -138,3 +140,191 @@ class FlowPlacer:
         if forwarding_gain <= 0:
             return float("inf") if install_penalty > 0 else 0.0
         return max(0.0, install_penalty / forwarding_gain)
+
+
+# -- topology tiers and shard partitioning -------------------------------------
+class SwitchTier(enum.Enum):
+    """Fat-tree topology tier of a switch (core / aggregation / edge).
+
+    The tiered-controller pattern from the SDN survey literature: work
+    local to one pod (one tier slice) is embarrassingly parallel, and
+    only cross-tier dependencies need synchronisation.  The sharded
+    fleet engine's ``tier`` partition strategy keeps same-tier switches
+    on the same worker, and :func:`cut_dag` turns cross-shard request
+    edges into explicit barrier points.
+    """
+
+    CORE = "core"
+    AGGREGATION = "aggregation"
+    EDGE = "edge"
+
+
+#: Name-prefix conventions recognised by :func:`assign_tier`.  Matching
+#: is on the name stem (lowercased, before any ``#N`` fleet suffix).
+TIER_NAME_PREFIXES: Tuple[Tuple[str, SwitchTier], ...] = (
+    ("core", SwitchTier.CORE),
+    ("spine", SwitchTier.CORE),
+    ("aggr", SwitchTier.AGGREGATION),
+    ("agg", SwitchTier.AGGREGATION),
+    ("pod", SwitchTier.AGGREGATION),
+    ("distribution", SwitchTier.AGGREGATION),
+)
+
+#: Partition order: core switches first, then aggregation, then edge,
+#: so tier-aware chunking keeps each tier contiguous.
+_TIER_RANKS: Tuple[SwitchTier, ...] = (
+    SwitchTier.CORE,
+    SwitchTier.AGGREGATION,
+    SwitchTier.EDGE,
+)
+
+
+def assign_tier(name: str) -> SwitchTier:
+    """The topology tier a switch name implies (default: edge).
+
+    Deterministic and purely lexical: ``core-3`` and ``spine7`` are
+    core, ``aggr-1``/``agg2``/``pod0-sw``/``distribution-a`` are
+    aggregation, everything else -- including every vendor profile
+    name -- is an edge switch.  The fleet's ``name#2`` duplicate
+    suffixes are stripped before matching.
+    """
+    stem = name.split("#", 1)[0].strip().lower()
+    for prefix, tier in TIER_NAME_PREFIXES:
+        if stem.startswith(prefix):
+            return tier
+    return SwitchTier.EDGE
+
+
+def tier_counts(names: Sequence[str]) -> Dict[SwitchTier, int]:
+    """How many of ``names`` fall in each tier (all tiers present)."""
+    counts = {tier: 0 for tier in _TIER_RANKS}
+    for name in names:
+        counts[assign_tier(name)] += 1
+    return counts
+
+
+def partition_names(
+    names: Sequence[str], shards: int, strategy: str = "round_robin"
+) -> List[List[int]]:
+    """Split member indices ``0..len(names)-1`` into ``shards`` groups.
+
+    Strategies:
+
+    * ``round_robin`` -- index ``i`` goes to shard ``i % shards``;
+      tier-blind, maximally balanced.
+    * ``tier`` -- names are stably ordered core -> aggregation -> edge
+      and dealt out in balanced contiguous chunks, so each shard holds
+      (mostly) one tier's pod-local work and cross-tier edges land on
+      as few shard boundaries as possible.
+
+    Groups come back sorted by member index (the sharded fleet engine
+    relies on ascending order so the global single-flight leader of a
+    fingerprint is the lowest-indexed member, exactly as in the
+    single-queue engine).  Empty groups are kept so the caller can see
+    ``shards > len(names)``.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be positive, got {shards}")
+    if strategy not in PARTITION_STRATEGIES:
+        raise ValueError(
+            f"unknown partition strategy {strategy!r}; "
+            f"known: {sorted(PARTITION_STRATEGIES)}"
+        )
+    groups: List[List[int]] = [[] for _ in range(shards)]
+    if strategy == "round_robin":
+        for index in range(len(names)):
+            groups[index % shards].append(index)
+        return groups
+    rank = {tier: position for position, tier in enumerate(_TIER_RANKS)}
+    ordered = sorted(
+        range(len(names)), key=lambda index: (rank[assign_tier(names[index])], index)
+    )
+    total = len(ordered)
+    base, extra = divmod(total, shards)
+    start = 0
+    for shard in range(shards):
+        size = base + (1 if shard < extra else 0)
+        groups[shard] = sorted(ordered[start : start + size])
+        start += size
+    return groups
+
+
+#: Partition strategies :func:`partition_names` understands (also the
+#: ``tango-probe infer --partition`` choices).
+PARTITION_STRATEGIES: Tuple[str, ...] = ("round_robin", "tier")
+
+
+@dataclass(frozen=True)
+class DagCut:
+    """A request DAG cut along a switch-to-shard assignment.
+
+    ``request_shard`` maps request id -> shard; ``local_edges`` stay
+    inside one shard and ``barrier_edges`` cross shards -- the explicit
+    synchronisation points a sharded scheduler must honor.  ``waves``
+    maps each request to its barrier depth: requests of wave ``w`` may
+    only be dispatched once every wave ``< w`` predecessor reachable
+    over a barrier edge has completed, while same-wave work is
+    shard-local and embarrassingly parallel.
+    """
+
+    shards: int
+    request_shard: Mapping[int, int]
+    local_edges: Tuple[Tuple[int, int], ...]
+    barrier_edges: Tuple[Tuple[int, int], ...]
+    waves: Mapping[int, int] = field(default_factory=dict)
+
+    @property
+    def barrier_count(self) -> int:
+        return len(self.barrier_edges)
+
+    @property
+    def max_wave(self) -> int:
+        return max(self.waves.values(), default=0)
+
+    def wave_members(self) -> List[List[int]]:
+        """Request ids grouped by wave, each group in id order."""
+        groups: List[List[int]] = [[] for _ in range(self.max_wave + 1)]
+        for request_id in sorted(self.waves):
+            groups[self.waves[request_id]].append(request_id)
+        return groups
+
+
+def cut_dag(dag: RequestDag, shard_of: Mapping[str, int]) -> DagCut:
+    """Cut a request DAG so cross-shard edges become barrier points.
+
+    ``shard_of`` maps switch (location) name -> shard index; every
+    location in the DAG must be assigned.  The wave of a request is the
+    number of barrier edges on its longest dependency path: an edge
+    within one shard never raises the wave (the shard's own scheduler
+    orders it), a cross-shard edge raises it by one.
+    """
+    request_shard: Dict[int, int] = {}
+    for request in dag.requests:
+        shard = shard_of.get(request.location)
+        if shard is None:
+            raise KeyError(
+                f"switch {request.location!r} has no shard assignment"
+            )
+        request_shard[request.request_id] = shard
+    local: List[Tuple[int, int]] = []
+    barriers: List[Tuple[int, int]] = []
+    for parent, child in dag.edge_ids():
+        if request_shard[parent] == request_shard[child]:
+            local.append((parent, child))
+        else:
+            barriers.append((parent, child))
+    waves: Dict[int, int] = {}
+    for request_id in dag.topological_order():
+        wave = 0
+        for parent in dag.predecessor_ids(request_id):
+            crossed = request_shard[parent] != request_shard[request_id]
+            wave = max(wave, waves[parent] + (1 if crossed else 0))
+        waves[request_id] = wave
+    shard_count = max(shard_of.values(), default=-1) + 1
+    return DagCut(
+        shards=shard_count,
+        request_shard=request_shard,
+        local_edges=tuple(local),
+        barrier_edges=tuple(barriers),
+        waves=waves,
+    )

@@ -1,0 +1,680 @@
+"""Sharded fleet inference across worker processes.
+
+The event-driven :class:`~repro.core.fleet.FleetInferenceEngine` runs
+every member on one event queue in one process, which caps fleet scale
+at a single core.  :class:`ShardedFleetEngine` partitions the fleet
+across N workers -- each running its own
+:class:`~repro.sim.events.Simulator`, shard-local
+:class:`~repro.core.scores.TangoScoreDatabase`, and
+:class:`~repro.core.fleet.ModelCache` -- and then merges the per-shard
+event streams back into one byte-identical global record order.
+
+**The merge protocol.**  Every worker-side event carries its *scheduling
+chain*: the tuple of virtual times of its ancestor events, root first
+(a member's first step is ``(0.0,)``; an event at time ``T`` that
+schedules a follow-up ``elapsed`` later extends the chain with
+``T + elapsed``).  In the single-queue engine, events are executed in
+``(time, push sequence)`` heap order, and because every member is
+admitted synchronously at time zero in member order, that order is
+exactly the lexicographic order of ``(reversed(chain), member index)``
+with Python's shorter-prefix-first tuple comparison.  The merge sorts
+the union of all shards' event batches by that key and replays each
+batch's TangoDB puts into the caller's database, so the merged record
+stream -- values, timestamps, provenance, and *insertion order* -- is
+byte-identical to a single-queue run of the whole fleet.  It follows
+that a 1-shard run equals :class:`FleetInferenceEngine` exactly and a
+fixed seed replays identically at every shard count and partition.
+
+**Cross-shard single-flight.**  Shard-local coalescing stays on (a
+worker never probes the same fingerprint twice), and the merge extends
+it across shards: for each fingerprint the *global* leader is the
+lowest-indexed cold member fleet-wide, duplicate leaders probed by
+other shards are dropped (counted as cross-shard coalesce hits, their
+probe ops as waste), and the leader's completion batch is resynthesized
+with the global waiter set in member order -- the identical records a
+single queue would have written.
+
+**What sharding gives up.**  Admission is unbounded (``max_in_flight``
+is meaningless across processes), and tracer/metrics/telemetry/
+sanitizer hooks are not threaded through workers; use the single-queue
+engine when those matter.  Everything crossing the worker boundary --
+members, fault plans, retry policies, warm cache records, inferred
+models -- travels by pickle, so the ``process`` backend is spawn-safe.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.fleet import (
+    FLEET_DB_SWITCH,
+    MODEL_CACHE_METRIC,
+    CachedModel,
+    FleetMember,
+    FleetMemberResult,
+    FleetResult,
+    MemberDriver,
+    ModelCache,
+    cache_store_allowed,
+    coalescing_allowed,
+    profile_fingerprint,
+)
+from repro.core.inference import InferredSwitchModel, SwitchInferenceEngine
+from repro.core.placement import PARTITION_STRATEGIES, partition_names
+from repro.core.scores import ScoreKey, ScoreRecord, TangoScoreDatabase
+from repro.faults.injector import FaultInjector
+from repro.sim.events import Simulator
+from repro.switches.profiles import SwitchProfile
+
+#: Execution backends: ``inline`` runs every shard sequentially in this
+#: process (deterministic tests, op-count benches); ``process`` fans out
+#: over a ``multiprocessing`` pool.
+SHARD_BACKENDS: Tuple[str, ...] = ("inline", "process")
+
+
+class _JournalingScoreDatabase(TangoScoreDatabase):
+    """A shard-local TangoDB that can journal the puts of one event.
+
+    Workers wrap each event's action in ``start_journal`` /
+    ``take_journal`` so every batch of records an event produced can be
+    shipped back (with its scheduling chain) for the deterministic
+    merge.  Outside a journal window, puts behave exactly as the base
+    class -- warm-cache replay and local-waiter bookkeeping stay out of
+    the shipped stream.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._journal: Optional[List[ScoreRecord]] = None
+
+    def start_journal(self) -> None:
+        self._journal = []
+
+    def take_journal(self) -> List[ScoreRecord]:
+        captured = self._journal if self._journal is not None else []
+        self._journal = None
+        return captured
+
+    def put(
+        self,
+        switch: str,
+        metric: str,
+        value: Any,
+        recorded_at_ms: float = 0.0,
+        source: Optional[str] = None,
+        **params: Any,
+    ) -> ScoreKey:
+        key = super().put(
+            switch, metric, value, recorded_at_ms=recorded_at_ms,
+            source=source, **params,
+        )
+        if self._journal is not None:
+            record = self.get_by_key(key)
+            assert record is not None
+            self._journal.append(record)
+        return key
+
+
+@dataclass
+class _EventBatch:
+    """The TangoDB puts of one worker-side event, with its chain.
+
+    ``chain`` is the event's scheduling-ancestor virtual times, root
+    first; the merge sorts batches by ``(reversed(chain), member)``.
+    """
+
+    chain: Tuple[float, ...]
+    records: Tuple[ScoreRecord, ...]
+
+
+@dataclass
+class _MemberOutcome:
+    """One member's worker-side result, shipped back for the merge."""
+
+    index: int  # global member index (the merge tie-break)
+    name: str
+    profile_name: str
+    fingerprint: str
+    kind: str = "leader"  # "leader" | "cache" | "waiter"
+    model: Optional[InferredSwitchModel] = None
+    cache_origin: Optional[str] = None
+    finished_ms: float = 0.0
+    probe_ops: int = 0
+    steps: Tuple[Tuple[str, float, float], ...] = ()
+    batches: List[_EventBatch] = field(default_factory=list)
+    complete_chain: Tuple[float, ...] = ()
+    store_record: Optional[ScoreRecord] = None
+
+
+@dataclass
+class _ShardTask:
+    """Everything one worker needs; every field pickles."""
+
+    shard_index: int
+    indices: Tuple[int, ...]  # global member indices, ascending
+    members: Tuple[FleetMember, ...]
+    seed: int
+    include_policy: bool
+    use_cache: bool
+    engine_knobs: Dict[str, Any]
+    fault_plan: Any  # Optional[FaultPlan]
+    retry_policy: Any
+    cache_records: Tuple[ScoreRecord, ...]  # warm model-cache entries
+
+
+@dataclass
+class _ShardResult:
+    """One worker's merged-protocol output."""
+
+    shard_index: int
+    outcomes: Tuple[_MemberOutcome, ...]
+    makespan_ms: float
+    events: int
+    records: int
+
+
+def _run_shard(task: _ShardTask) -> _ShardResult:
+    """Run one shard's members on a private simulator and journal it.
+
+    Module-level (not a closure) so the ``process`` backend can pickle
+    it under the ``spawn`` start method.  This mirrors
+    :meth:`FleetInferenceEngine.infer_fleet` exactly -- synchronous
+    admission of every member at time zero, one zero-delay event per
+    cache hit, a step-event chain per probing member -- minus the
+    telemetry hooks and bounded admission the sharded engine does not
+    support.
+    """
+    scores = _JournalingScoreDatabase()
+    for record in task.cache_records:
+        scores.put(
+            record.key.switch,
+            record.key.metric,
+            record.value,
+            recorded_at_ms=record.recorded_at_ms,
+            source=record.source,
+            **dict(record.key.params),
+        )
+    cache = ModelCache(scores)
+    injector = (
+        FaultInjector(task.fault_plan) if task.fault_plan is not None else None
+    )
+    coalesce_ok = coalescing_allowed(injector)
+    sim = Simulator()
+    clock = sim.clock
+    outcomes: Dict[int, _MemberOutcome] = {}
+    leaders: Dict[str, int] = {}
+
+    def build_engine(member: FleetMember, seed: int) -> SwitchInferenceEngine:
+        return SwitchInferenceEngine(
+            member.named_profile(),
+            scores=scores,
+            seed=seed,
+            fault_injector=injector,
+            retry_policy=task.retry_policy,
+            **task.engine_knobs,
+        )
+
+    def cache_hit(outcome, member, entry, chain):
+        def action() -> None:
+            now = clock.now_ms
+            scores.start_journal()
+            model = entry.model.clone_as(member.name)
+            scores.put(
+                member.name,
+                "switch_model",
+                model,
+                recorded_at_ms=now,
+                source=f"fleet_cache:{entry.origin}",
+            )
+            outcome.batches.append(
+                _EventBatch(chain=chain, records=tuple(scores.take_journal()))
+            )
+            outcome.model = model
+            outcome.finished_ms = now
+
+        return action
+
+    def complete_probe(outcome, driver, fingerprint, chain):
+        def action() -> None:
+            now = clock.now_ms
+            assert driver.model is not None
+            if task.use_cache and cache_store_allowed(driver.model, injector):
+                scores.start_journal()
+                cache.store(
+                    fingerprint, driver.model, driver.member.name,
+                    recorded_at_ms=now,
+                )
+                outcome.store_record = scores.take_journal()[0]
+            # Local waiters are *not* completed here: the merge
+            # resynthesizes the completion batch from the global waiter
+            # set, which this shard cannot know.
+            outcome.model = driver.model
+            outcome.finished_ms = now
+            outcome.probe_ops = driver.engine.probe_ops()
+            outcome.steps = tuple(driver.step_log)
+            outcome.complete_chain = chain
+
+        return action
+
+    def step(outcome, driver, fingerprint, chain):
+        def action() -> None:
+            now = clock.now_ms
+            scores.start_journal()
+            stage, elapsed, done = driver.advance(now)
+            outcome.batches.append(
+                _EventBatch(chain=chain, records=tuple(scores.take_journal()))
+            )
+            next_chain = chain + (now + elapsed,)
+            if done:
+                sim.schedule(
+                    elapsed,
+                    complete_probe(outcome, driver, fingerprint, next_chain),
+                )
+            else:
+                sim.schedule(
+                    elapsed, step(outcome, driver, fingerprint, next_chain)
+                )
+
+        return action
+
+    for position, global_index in enumerate(task.indices):
+        member = task.members[position]
+        fingerprint = profile_fingerprint(
+            member.profile,
+            include_policy=task.include_policy,
+            **task.engine_knobs,
+        )
+        outcome = _MemberOutcome(
+            index=global_index,
+            name=member.name,
+            profile_name=member.profile.name,
+            fingerprint=fingerprint,
+        )
+        outcomes[global_index] = outcome
+        if task.use_cache:
+            entry = cache.lookup(fingerprint)
+            if entry is not None:
+                outcome.kind = "cache"
+                outcome.cache_origin = entry.origin
+                sim.call_soon(cache_hit(outcome, member, entry, (0.0,)))
+                continue
+            if coalesce_ok:
+                if fingerprint in leaders:
+                    outcome.kind = "waiter"
+                    continue
+                leaders[fingerprint] = global_index
+        outcome.kind = "leader"
+        seed = member.seed if member.seed is not None else task.seed + global_index
+        driver = MemberDriver(
+            member, build_engine(member, seed), task.include_policy
+        )
+        sim.call_soon(step(outcome, driver, fingerprint, (0.0,)))
+
+    makespan = sim.run()
+    ordered = tuple(outcomes[index] for index in task.indices)
+    journaled = sum(
+        len(batch.records) for o in ordered for batch in o.batches
+    ) + sum(1 for o in ordered if o.store_record is not None)
+    return _ShardResult(
+        shard_index=task.shard_index,
+        outcomes=ordered,
+        makespan_ms=makespan,
+        events=sim.processed_events,
+        records=journaled,
+    )
+
+
+class ShardedFleetEngine:
+    """Fleet inference partitioned across worker processes.
+
+    Same contract as :class:`FleetInferenceEngine` with unbounded
+    admission: identical :class:`FleetResult`, identical TangoDB
+    records in identical insertion order, identical JSON summary -- at
+    any ``shards`` count, under either partition strategy, on either
+    backend.  See the module docstring for the merge protocol.
+
+    Args:
+        members: fleet members or bare profiles (names must be unique).
+        scores: the caller's score database; warm
+            ``(fingerprint -> model)`` cache entries found here are
+            shipped to every worker, and the merged run's records land
+            back here.
+        seed: base seed; member ``i`` defaults to ``seed + i``
+            (``i`` is the *global* member index, so seeding is
+            partition-independent).
+        shards: worker count requested (clamped to the fleet size).
+        partition: ``round_robin`` or ``tier`` (see
+            :func:`repro.core.placement.partition_names`).
+        backend: ``inline`` or ``process``.
+        mp_start_method: ``fork``/``spawn``/``forkserver``; default
+            prefers ``fork`` where available, else ``spawn``.
+        use_cache: consult/populate the fingerprint model cache.
+        fault_injector: optional :class:`FaultInjector`; its *plan* is
+            shipped and each worker rebuilds a fresh injector (fault
+            decision streams are per switch name, so the replay is
+            byte-identical).
+        retry_policy: forwarded to every member engine.
+        remaining keyword knobs: forwarded to every member's
+            :class:`SwitchInferenceEngine`.
+    """
+
+    def __init__(
+        self,
+        members: Sequence[Union[FleetMember, SwitchProfile]],
+        scores: Optional[TangoScoreDatabase] = None,
+        seed: int = 0,
+        shards: int = 1,
+        partition: str = "round_robin",
+        backend: str = "process",
+        mp_start_method: Optional[str] = None,
+        use_cache: bool = True,
+        fault_injector=None,
+        retry_policy=None,
+        size_probe_max_rules: int = 8192,
+        size_accuracy_target: float = 0.02,
+        latency_batch_sizes: Tuple[int, ...] = (100, 400, 900, 1600),
+        policy_cache_size: Optional[int] = None,
+    ) -> None:
+        resolved: List[FleetMember] = []
+        for item in members:
+            if isinstance(item, FleetMember):
+                resolved.append(item)
+            else:
+                resolved.append(FleetMember(name=item.name, profile=item))
+        if not resolved:
+            raise ValueError("a fleet needs at least one member")
+        names = [member.name for member in resolved]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate fleet member names: {sorted(names)}")
+        if shards < 1:
+            raise ValueError(f"shards must be positive, got {shards}")
+        if partition not in PARTITION_STRATEGIES:
+            raise ValueError(
+                f"unknown partition strategy {partition!r}; "
+                f"known: {sorted(PARTITION_STRATEGIES)}"
+            )
+        if backend not in SHARD_BACKENDS:
+            raise ValueError(
+                f"unknown shard backend {backend!r}; "
+                f"known: {sorted(SHARD_BACKENDS)}"
+            )
+        self.members = resolved
+        self.scores = scores if scores is not None else TangoScoreDatabase()
+        self.seed = seed
+        self.shards = shards
+        self.partition = partition
+        self.backend = backend
+        self.mp_start_method = mp_start_method
+        self.use_cache = use_cache
+        self.fault_injector = fault_injector
+        self.retry_policy = retry_policy
+        self.engine_knobs: Dict[str, Any] = {
+            "size_probe_max_rules": size_probe_max_rules,
+            "size_accuracy_target": size_accuracy_target,
+            "latency_batch_sizes": tuple(latency_batch_sizes),
+            "policy_cache_size": policy_cache_size,
+        }
+        self.cache = ModelCache(self.scores)
+        self.shard_stats: Dict[str, Any] = {}
+        self._fingerprints: Dict[str, str] = {}
+
+    # -- helpers ---------------------------------------------------------------
+    def member(self, name: str) -> FleetMember:
+        for candidate in self.members:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"no fleet member named {name!r}")
+
+    def fingerprint_for(self, member: FleetMember, include_policy: bool = True) -> str:
+        """The cache fingerprint this member resolves to."""
+        return profile_fingerprint(
+            member.profile, include_policy=include_policy, **self.engine_knobs
+        )
+
+    def _fault_plan(self):
+        return getattr(self.fault_injector, "plan", None)
+
+    def _warm_cache_records(self) -> Tuple[ScoreRecord, ...]:
+        """The caller-side model-cache entries every worker receives."""
+        return tuple(
+            record
+            for record in self.scores.records_for_switch(FLEET_DB_SWITCH)
+            if record.key.metric == MODEL_CACHE_METRIC
+        )
+
+    def _build_tasks(self, include_policy: bool) -> List[_ShardTask]:
+        groups = partition_names(
+            [member.name for member in self.members], self.shards, self.partition
+        )
+        cache_records = self._warm_cache_records() if self.use_cache else ()
+        tasks: List[_ShardTask] = []
+        for shard_index, group in enumerate(groups):
+            if not group:
+                continue  # more shards requested than members
+            tasks.append(
+                _ShardTask(
+                    shard_index=shard_index,
+                    indices=tuple(group),
+                    members=tuple(self.members[index] for index in group),
+                    seed=self.seed,
+                    include_policy=include_policy,
+                    use_cache=self.use_cache,
+                    engine_knobs=dict(self.engine_knobs),
+                    fault_plan=self._fault_plan(),
+                    retry_policy=self.retry_policy,
+                    cache_records=cache_records,
+                )
+            )
+        return tasks
+
+    def _run_tasks(self, tasks: List[_ShardTask]) -> List[_ShardResult]:
+        if self.backend == "inline" or len(tasks) == 1:
+            return [_run_shard(task) for task in tasks]
+        import multiprocessing
+
+        method = self.mp_start_method
+        if method is None:
+            method = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn"
+            )
+        context = multiprocessing.get_context(method)
+        workers = min(len(tasks), max(1, os.cpu_count() or 1))
+        with context.Pool(processes=workers) as pool:
+            return pool.map(_run_shard, tasks, chunksize=1)
+
+    # -- the deterministic merge ----------------------------------------------
+    def infer_fleet(self, include_policy: bool = True) -> FleetResult:
+        """Infer every member across the shards and merge the streams.
+
+        Returns the identical :class:`FleetResult` a single-queue
+        unbounded run would produce; ``shard_stats`` afterwards holds
+        the per-shard and merge accounting (never part of the result
+        or the TangoDB stream, so summaries stay byte-identical).
+        """
+        tasks = self._build_tasks(include_policy)
+        shard_results = self._run_tasks(tasks)
+
+        outcomes: Dict[int, _MemberOutcome] = {}
+        for shard in shard_results:
+            for outcome in shard.outcomes:
+                outcomes[outcome.index] = outcome
+        coalesce_ok = self.use_cache and coalescing_allowed(self.fault_injector)
+
+        # Cross-shard single-flight: the global leader of a fingerprint
+        # is its lowest-indexed cold member; other shards' duplicate
+        # probes are dropped, their waiters re-homed onto the winner.
+        kept: List[_MemberOutcome] = []
+        dropped: List[_MemberOutcome] = []
+        waiters_of: Dict[str, List[_MemberOutcome]] = {}
+        if coalesce_ok:
+            leader_of: Dict[str, _MemberOutcome] = {}
+            for index in sorted(outcomes):
+                outcome = outcomes[index]
+                if outcome.kind == "leader":
+                    if outcome.fingerprint in leader_of:
+                        dropped.append(outcome)
+                    else:
+                        leader_of[outcome.fingerprint] = outcome
+                        kept.append(outcome)
+                elif outcome.kind == "waiter":
+                    waiters_of.setdefault(outcome.fingerprint, []).append(outcome)
+            for duplicate in dropped:
+                waiters_of.setdefault(duplicate.fingerprint, []).append(duplicate)
+        else:
+            kept = [
+                outcomes[index]
+                for index in sorted(outcomes)
+                if outcomes[index].kind == "leader"
+            ]
+
+        # Interleave every shard's event batches into the global order:
+        # lexicographic (reversed chain, member index), which is exactly
+        # the single queue's (time, push sequence) execution order.
+        merge_events: List[Tuple[Tuple[float, ...], int, Tuple[ScoreRecord, ...]]]
+        merge_events = []
+        for index in sorted(outcomes):
+            outcome = outcomes[index]
+            if outcome.kind == "cache":
+                for batch in outcome.batches:
+                    merge_events.append(
+                        (tuple(reversed(batch.chain)), index, batch.records)
+                    )
+        for leader in kept:
+            for batch in leader.batches:
+                merge_events.append(
+                    (tuple(reversed(batch.chain)), leader.index, batch.records)
+                )
+            completion: List[ScoreRecord] = []
+            entry: Optional[CachedModel] = None
+            if leader.store_record is not None:
+                completion.append(leader.store_record)
+                entry = leader.store_record.value
+            group = sorted(
+                waiters_of.get(leader.fingerprint, ()), key=lambda o: o.index
+            )
+            if group and entry is None:
+                assert leader.model is not None
+                entry = CachedModel(
+                    fingerprint=leader.fingerprint,
+                    model=leader.model,
+                    origin=leader.name,
+                    recorded_at_ms=leader.finished_ms,
+                )
+            for waiter in group:
+                assert entry is not None
+                model = entry.model.clone_as(waiter.name)
+                waiter.model = model
+                waiter.cache_origin = entry.origin
+                waiter.finished_ms = leader.finished_ms
+                completion.append(
+                    ScoreRecord(
+                        key=ScoreKey.make(waiter.name, "switch_model"),
+                        value=model,
+                        recorded_at_ms=leader.finished_ms,
+                        source=f"fleet_coalesced:{entry.origin}",
+                    )
+                )
+            merge_events.append(
+                (tuple(reversed(leader.complete_chain)), leader.index, tuple(completion))
+            )
+        merge_events.sort(key=lambda event: (event[0], event[1]))
+
+        merged_records = 0
+        for _, _, records in merge_events:
+            for record in records:
+                merged_records += 1
+                self.scores.put(
+                    record.key.switch,
+                    record.key.metric,
+                    record.value,
+                    recorded_at_ms=record.recorded_at_ms,
+                    source=record.source,
+                    **dict(record.key.params),
+                )
+
+        # Reconstruct the cache counters a single-queue run would show:
+        # every member looked up once (phase A), leaders with clean
+        # models stored once.
+        if self.use_cache:
+            warm = sum(1 for o in outcomes.values() if o.kind == "cache")
+            self.cache.hits += warm
+            self.cache.misses += len(outcomes) - warm
+            self.cache.stores += sum(
+                1 for leader in kept if leader.store_record is not None
+            )
+
+        makespan = max((leader.finished_ms for leader in kept), default=0.0)
+        kept_indices = {leader.index for leader in kept}
+        dropped_indices = {duplicate.index for duplicate in dropped}
+        results: List[FleetMemberResult] = []
+        for index, member in enumerate(self.members):
+            outcome = outcomes[index]
+            assert outcome.model is not None
+            self._fingerprints[member.name] = outcome.fingerprint
+            results.append(
+                FleetMemberResult(
+                    name=outcome.name,
+                    profile_name=outcome.profile_name,
+                    fingerprint=outcome.fingerprint,
+                    model=outcome.model,
+                    started_ms=0.0,
+                    finished_ms=outcome.finished_ms,
+                    cache_hit=outcome.kind == "cache",
+                    coalesced=outcome.kind == "waiter"
+                    or index in dropped_indices,
+                    cache_origin=outcome.cache_origin,
+                    probe_ops=outcome.probe_ops if index in kept_indices else 0,
+                    steps=outcome.steps if index in kept_indices else (),
+                )
+            )
+        result = FleetResult(
+            members=results, makespan_ms=makespan, max_in_flight=None
+        )
+        self.scores.put(
+            FLEET_DB_SWITCH,
+            "fleet_run",
+            result.summary(),
+            recorded_at_ms=makespan,
+            source="fleet_engine",
+            members=len(self.members),
+        )
+
+        self.shard_stats = {
+            "shards": self.shards,
+            "workers": len(tasks),
+            "partition": self.partition,
+            "backend": self.backend,
+            "members": len(self.members),
+            "cross_shard_coalesced": len(dropped),
+            "wasted_probe_ops": sum(o.probe_ops for o in dropped),
+            "merge_events": len(merge_events),
+            "merge_records": merged_records,
+            "cpu_count": os.cpu_count(),
+            "per_shard": [
+                {
+                    "shard": shard.shard_index,
+                    "members": len(shard.outcomes),
+                    "full_probes": sum(
+                        1 for o in shard.outcomes if o.kind == "leader"
+                    ),
+                    "cache_hits": sum(
+                        1 for o in shard.outcomes if o.kind == "cache"
+                    ),
+                    "makespan_ms": round(shard.makespan_ms, 4),
+                    "events": shard.events,
+                    "records": shard.records,
+                }
+                for shard in shard_results
+            ],
+        }
+        return result
+
+
+__all__ = [
+    "SHARD_BACKENDS",
+    "ShardedFleetEngine",
+]

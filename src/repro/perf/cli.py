@@ -27,6 +27,7 @@ from typing import List, Optional
 from repro.perf.harness import (
     CASE_NAMES,
     baseline_from_records,
+    collect_fleet_scaling,
     compare_to_baseline,
     records_to_report,
     run_suite,
@@ -77,6 +78,31 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
         choices=sorted(CASE_NAMES),
         metavar="CASE",
         help=f"run only these cases (default: all of {sorted(CASE_NAMES)})",
+    )
+    parser.add_argument(
+        "--fleet-scaling",
+        default=None,
+        metavar="PATH",
+        help=(
+            "also run the ungated sharded-fleet wall-clock scaling block "
+            "(1024 members over worker processes by default) and write it "
+            "to PATH, e.g. BENCH_fleet_scaling.json"
+        ),
+    )
+    parser.add_argument(
+        "--fleet-scaling-members",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="fleet size of the --fleet-scaling run (default: 1024)",
+    )
+    parser.add_argument(
+        "--fleet-scaling-shards",
+        type=int,
+        nargs="+",
+        default=(1, 2, 4),
+        metavar="S",
+        help="shard counts of the --fleet-scaling run (default: 1 2 4)",
     )
 
 
@@ -134,6 +160,30 @@ def run_bench(args, out) -> int:
         baseline_path=str(baseline_path) if gated else None,
     )
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+
+    if getattr(args, "fleet_scaling", None):
+        scaling = collect_fleet_scaling(
+            members=args.fleet_scaling_members,
+            shard_counts=tuple(args.fleet_scaling_shards),
+        )
+        Path(args.fleet_scaling).write_text(json.dumps(scaling, indent=2) + "\n")
+        print(f"fleet scaling written: {args.fleet_scaling}", file=out)
+        fastest = max(
+            scaling["runs"], key=lambda run: run["speedup_wall_vs_1shard"] or 0.0
+        )
+        print(
+            f"fleet scaling: {scaling['members']} members, best "
+            f"{fastest['speedup_wall_vs_1shard']}x at {fastest['shards']} shards "
+            f"(cpu_count={scaling['cpu_count']}, ungated)",
+            file=out,
+        )
+        if not scaling["summaries_identical"]:
+            print(
+                "MISMATCH fleet_scaling: shard counts produced different "
+                "summaries",
+                file=out,
+            )
+            return 1
 
     _print_table(records, out)
     print(f"\ntrajectory written: {args.output}", file=out)

@@ -40,6 +40,14 @@ Cases (``n`` is the suite size knob):
   Gates the cost of fault-deferral bookkeeping: re-enqueued requests
   revisit DAG edges, so a fault-handling change that loops instead of
   deferring shows up as an op-count blowup.
+* ``sharded_fleet``      -- fleet inference through
+  :class:`repro.core.shard.ShardedFleetEngine` (4 shards, tier
+  partition, inline backend) over distinct-fingerprint tier-named
+  profiles; the reference arm is the single-queue
+  :class:`repro.core.fleet.FleetInferenceEngine` and identity covers
+  summaries, models, and full TangoDB contents.  Wall-clock scaling
+  over real worker processes is the separate ungated
+  :func:`collect_fleet_scaling` block.
 * ``serve_churn``        -- n churning flow arrivals served by
   :class:`repro.serve.ServeLoop` against a 96-rule budget (FDRC
   admission, policy-ranked eviction, wildcard aggregation);
@@ -49,6 +57,8 @@ Cases (``n`` is the suite size knob):
 
 from __future__ import annotations
 
+import json
+import os
 import time
 from dataclasses import asdict, dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -62,6 +72,8 @@ from repro.faults import (
 )
 from repro.obs.metrics import MetricsRegistry
 from repro.core.fleet import FleetInferenceEngine, build_fleet
+from repro.core.scores import TangoScoreDatabase
+from repro.core.shard import ShardedFleetEngine
 from repro.perf.reference import (
     PREFIX_REFERENCE_CAP,
     ReferenceBasicTangoScheduler,
@@ -70,6 +82,7 @@ from repro.perf.reference import (
 )
 from repro.perf.workloads import (
     FLEET_BENCH_KNOBS,
+    SHARDED_BENCH_KNOBS,
     UNLOCK_ESTIMATES,
     chain_dag,
     descending_priorities,
@@ -78,6 +91,7 @@ from repro.perf.workloads import (
     layered_dag,
     serve_bench_profile,
     serve_churn_config,
+    sharded_fleet_profiles,
     unlock_groups_dag,
 )
 from repro.tables.tcam import PriorityShiftModel
@@ -288,12 +302,40 @@ def bench_faulted_schedule(n: int, with_reference: bool = True) -> BenchRecord:
     return record
 
 
-#: The fleet-inference case runs full (if tiny) probe pipelines, so its
-#: member count is capped independently of the suite size knob.
-FLEET_CAP = 12
+@dataclass(frozen=True)
+class BenchCaseConfig:
+    """Per-case knobs the bench cases read instead of module globals.
+
+    The fleet cases run full (if tiny) probe pipelines, so their member
+    counts are capped independently of the suite size knob; the sharded
+    case's shard geometry lives here too so callers (tests, the scaling
+    collector) can rescale a case without mutating module state.
+    """
+
+    #: Member cap of the single-queue ``fleet_infer`` case (its gate
+    #: was calibrated at 12 members; see ``fleet_infer:12``).
+    fleet_member_cap: int = 12
+    #: Member cap of the gated ``sharded_fleet`` case.  The engine
+    #: itself scales to 1024+ (see the ungated fleet-scaling block);
+    #: the gate just needs enough members for every shard to do real
+    #: work, cross-shard coalescing included.
+    sharded_member_cap: int = 64
+    #: Shard count / partition / backend of the gated sharded case.
+    #: ``inline`` keeps the gated op count free of process-pool noise.
+    sharded_shards: int = 4
+    sharded_partition: str = "tier"
+    sharded_backend: str = "inline"
 
 
-def bench_fleet_infer(n: int, with_reference: bool = True) -> BenchRecord:
+#: Default knobs for every case; frozen, so safe as a module constant.
+DEFAULT_CASE_CONFIG = BenchCaseConfig()
+
+
+def bench_fleet_infer(
+    n: int,
+    with_reference: bool = True,
+    config: BenchCaseConfig = DEFAULT_CASE_CONFIG,
+) -> BenchRecord:
     """Concurrent fleet inference over 3 distinct tiny profiles.
 
     Ops are the fleet's deterministic probe-operation total (flow
@@ -305,7 +347,7 @@ def bench_fleet_infer(n: int, with_reference: bool = True) -> BenchRecord:
     BENCH trajectory.
     """
     del with_reference  # trajectory-only; inference had no sequential-fleet arm
-    size = min(n, FLEET_CAP)
+    size = min(n, config.fleet_member_cap)
     registry = MetricsRegistry()
     engine = FleetInferenceEngine(
         build_fleet(fleet_bench_profiles(), size),
@@ -357,6 +399,137 @@ def bench_serve_churn(n: int, with_reference: bool = True) -> BenchRecord:
     return record
 
 
+def bench_sharded_fleet(
+    n: int,
+    with_reference: bool = True,
+    config: BenchCaseConfig = DEFAULT_CASE_CONFIG,
+) -> BenchRecord:
+    """Sharded fleet inference over tier-named, distinct-fingerprint
+    profiles, merged back into the global record order.
+
+    Ops are the merged fleet's deterministic probe-operation total, a
+    pure function of (profiles, seed, knobs, shard count) -- identical
+    to a single-queue run by the merge protocol's byte-identity
+    guarantee, which the reference arm checks outright: the legacy
+    :class:`FleetInferenceEngine` runs the same fleet and the record
+    asserts equal summaries, models, and TangoDB contents
+    (``detail["identical"]``).  The gate therefore catches both classic
+    op blowups (defeated cache/coalescing) and merge bugs that drop or
+    duplicate shard journals.  Runs the ``inline`` backend so gated
+    numbers carry no process-pool noise; wall-clock scaling across real
+    worker processes is the separate ungated fleet-scaling block.
+    """
+    size = min(n, config.sharded_member_cap)
+    profiles = sharded_fleet_profiles(size)
+    engine = ShardedFleetEngine(
+        build_fleet(profiles, size),
+        seed=3,
+        shards=config.sharded_shards,
+        partition=config.sharded_partition,
+        backend=config.sharded_backend,
+        **SHARDED_BENCH_KNOBS,
+    )
+    wall_ms, result = _timed(lambda: engine.infer_fleet(include_policy=False))
+    record = BenchRecord(
+        case="sharded_fleet", n=size, wall_ms=wall_ms, ops=result.probe_ops
+    )
+    stats = engine.shard_stats
+    record.detail = {
+        "makespan_ms": result.makespan_ms,
+        "sequential_sum_ms": result.sequential_sum_ms,
+        "speedup_virtual": round(result.speedup, 3),
+        "full_probe_runs": result.full_probe_runs,
+        "cache_hits": result.cache_hits,
+        "coalesced_joins": result.coalesced_joins,
+        "shards": stats,
+    }
+    if with_reference:
+        reference = FleetInferenceEngine(
+            build_fleet(profiles, size),
+            seed=3,
+            **SHARDED_BENCH_KNOBS,
+        )
+        ref_wall_ms, ref_result = _timed(
+            lambda: reference.infer_fleet(include_policy=False)
+        )
+        _with_reference(record, ref_wall_ms, ref_result.probe_ops)
+        record.identical = _fleet_signature(result) == _fleet_signature(
+            ref_result
+        ) and _db_signature(engine.scores) == _db_signature(reference.scores)
+    return record
+
+
+def collect_fleet_scaling(
+    members: int = 1024,
+    shard_counts: Sequence[int] = (1, 2, 4),
+    backend: str = "process",
+    partition: str = "tier",
+) -> Dict[str, object]:
+    """The ungated wall-clock scaling block for the bench report.
+
+    Runs the same ``members``-switch fleet (every member a distinct
+    fingerprint, so no coalescing collapses the work) at each shard
+    count over real worker processes and reports wall-clock speedup
+    versus the 1-shard arm.  Wall time is machine-dependent, so this
+    never gates: the honest context (``cpu_count``) rides along, and
+    the deterministic cross-check — every arm's summary must be
+    byte-identical JSON — is what a regression in the merge protocol
+    would trip.  Target: >=2x at 4 shards on a 4-core runner.
+    """
+    profiles = sharded_fleet_profiles(members)
+    runs: List[Dict[str, object]] = []
+    baseline_wall: Optional[float] = None
+    baseline_summary: Optional[str] = None
+    summaries_identical = True
+    for shards in shard_counts:
+        engine = ShardedFleetEngine(
+            build_fleet(profiles, members),
+            scores=TangoScoreDatabase(),
+            seed=3,
+            shards=shards,
+            partition=partition,
+            backend=backend,
+            **SHARDED_BENCH_KNOBS,
+        )
+        wall_ms, result = _timed(
+            lambda engine=engine: engine.infer_fleet(include_policy=False)
+        )
+        summary = json.dumps(result.summary(), sort_keys=True)
+        if baseline_wall is None:
+            baseline_wall = wall_ms
+            baseline_summary = summary
+        elif summary != baseline_summary:
+            summaries_identical = False
+        stats = engine.shard_stats
+        runs.append(
+            {
+                "shards": shards,
+                "workers": stats.get("workers"),
+                "wall_ms": round(wall_ms, 3),
+                "makespan_ms": result.makespan_ms,
+                "probe_ops": result.probe_ops,
+                "cross_shard_coalesced": stats.get("cross_shard_coalesced"),
+                "speedup_wall_vs_1shard": round(baseline_wall / wall_ms, 3)
+                if wall_ms
+                else None,
+            }
+        )
+    return {
+        "gated": False,
+        "note": (
+            "wall-clock scaling over worker processes; machine-dependent, "
+            "never gated — speedup tracks min(shards, cpu_count)"
+        ),
+        "members": members,
+        "backend": backend,
+        "partition": partition,
+        "cpu_count": os.cpu_count(),
+        "target_speedup_at_4_shards": 2.0,
+        "summaries_identical": summaries_identical,
+        "runs": runs,
+    }
+
+
 _CASES = (
     bench_chain_schedule,
     bench_layered_schedule,
@@ -364,6 +537,7 @@ _CASES = (
     bench_prefix_lookahead,
     bench_faulted_schedule,
     bench_fleet_infer,
+    bench_sharded_fleet,
     bench_serve_churn,
 )
 
@@ -375,6 +549,7 @@ CASE_NAMES: Dict[str, Callable[..., BenchRecord]] = {
     "prefix_lookahead": bench_prefix_lookahead,
     "faulted_schedule": bench_faulted_schedule,
     "fleet_infer": bench_fleet_infer,
+    "sharded_fleet": bench_sharded_fleet,
     "serve_churn": bench_serve_churn,
 }
 

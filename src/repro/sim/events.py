@@ -165,6 +165,12 @@ class Simulator:
         #: events and outside :meth:`run`) -- the scheduling parent for
         #: provenance, and the access context for sanitizer proxies.
         self.current_event: Optional[Event] = None
+        #: Total events whose actions :meth:`run` has executed.  Pure
+        #: bookkeeping (never read by the run loop), exposed so callers
+        #: that merge several simulators -- the sharded fleet engine's
+        #: per-worker streams -- can report deterministic per-queue
+        #: event totals without instrumenting every action.
+        self.processed_events: int = 0
 
     def _push(self, time_ms: float, action: Callable[[], None]) -> Event:
         event = self.queue.push(time_ms, action)
@@ -212,6 +218,7 @@ class Simulator:
             assert event is not None
             self.clock.advance_to(event.time_ms)
             self.current_event = event
+            self.processed_events += 1
             try:
                 event.action()
             finally:

@@ -108,7 +108,8 @@ def test_run_suite_quick_sizes_and_keys():
         "descending_shifts:50",
         "prefix_lookahead:50",
         "faulted_schedule:50",
-        "fleet_infer:12",  # fleet size is capped at FLEET_CAP
+        "fleet_infer:12",  # fleet size is capped by the case config
+        "sharded_fleet:50",
         "serve_churn:50",
     ]
 
@@ -146,7 +147,7 @@ def test_report_document_shape():
     report = records_to_report(records, [], quick=True, baseline_path=None)
     assert report["ok"] is True
     assert report["suite"] == "scheduler-hot-paths"
-    assert len(report["results"]) == 7
+    assert len(report["results"]) == 8
     assert {"case", "n", "wall_ms", "ops"} <= set(report["results"][0])
     # Wall-clock trajectories ride along but never gate.
     wall = report["wall_clock"]
@@ -333,11 +334,13 @@ def test_collect_suite_telemetry_block_shape():
 
 
 def test_fleet_infer_case_is_trajectory_only_and_deterministic():
-    from repro.perf.harness import FLEET_CAP, bench_fleet_infer
+    from repro.perf.harness import DEFAULT_CASE_CONFIG, bench_fleet_infer
 
+    cap = DEFAULT_CASE_CONFIG.fleet_member_cap
+    assert cap == 12  # the checked-in fleet_infer:12 baseline key
     first = bench_fleet_infer(1000)
     second = bench_fleet_infer(1000)
-    assert first.n == second.n == FLEET_CAP  # capped fleet size
+    assert first.n == second.n == cap  # capped fleet size
     assert first.ref_ops is None and first.identical is None
     assert first.ops == second.ops > 0
     assert first.detail["makespan_ms"] == second.detail["makespan_ms"]
@@ -345,9 +348,59 @@ def test_fleet_infer_case_is_trajectory_only_and_deterministic():
     assert first.detail["full_probe_runs"] == 3
     assert (
         first.detail["cache_hits"] + first.detail["coalesced_joins"]
-        == FLEET_CAP - 3
+        == cap - 3
     )
     assert first.detail["speedup_virtual"] > 1.0
+
+
+def test_fleet_infer_cap_is_per_case_config_not_module_state():
+    from repro.perf.harness import BenchCaseConfig, bench_fleet_infer
+
+    import dataclasses
+
+    import pytest
+
+    small = bench_fleet_infer(1000, config=BenchCaseConfig(fleet_member_cap=5))
+    assert small.n == 5
+    # The default config is immutable: no bench can leak a cap change
+    # into the next run (TNG041's no-module-mutable-state rule).
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        BenchCaseConfig().fleet_member_cap = 99
+    assert bench_fleet_infer(1000).n == 12
+
+
+def test_sharded_fleet_case_checks_reference_identity():
+    from repro.perf.harness import BenchCaseConfig, bench_sharded_fleet
+
+    config = BenchCaseConfig(sharded_member_cap=12, sharded_shards=3)
+    first = bench_sharded_fleet(1000, config=config)
+    second = bench_sharded_fleet(1000, config=config)
+    assert first.n == second.n == 12
+    # The reference arm is the single-queue engine; the record asserts
+    # byte-identity (summaries, models, full TangoDB contents).
+    assert first.identical is True
+    assert first.ref_ops == first.ops == second.ops > 0
+    stats = first.detail["shards"]
+    assert stats["shards"] == 3 and stats["backend"] == "inline"
+    assert len(stats["per_shard"]) == 3
+    assert stats == second.detail["shards"]
+    # Without the reference arm the case is trajectory-only.
+    bare = bench_sharded_fleet(1000, with_reference=False, config=config)
+    assert bare.identical is None and bare.ops == first.ops
+
+
+def test_collect_fleet_scaling_block_is_ungated_and_consistent():
+    from repro.perf.harness import collect_fleet_scaling
+
+    block = collect_fleet_scaling(
+        members=8, shard_counts=(1, 2), backend="inline"
+    )
+    assert block["gated"] is False
+    assert block["members"] == 8 and block["summaries_identical"] is True
+    assert [run["shards"] for run in block["runs"]] == [1, 2]
+    assert block["runs"][0]["speedup_wall_vs_1shard"] == 1.0
+    # Probe work is deterministic, so both arms agree exactly.
+    assert block["runs"][0]["probe_ops"] == block["runs"][1]["probe_ops"] > 0
 
 
 def test_faulted_schedule_case_is_deterministic_and_counts_faults():
